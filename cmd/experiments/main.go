@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6a -runs 1000
+//	experiments -run all -runs 200 -apps CHIMERA,XGC,POP
+//
+// Each experiment prints the same rows/series the paper reports; -values
+// appends the machine-readable headline numbers used by the test suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pckpt/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment ID to run, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		runs    = flag.Int("runs", 200, "simulation runs per configuration (paper: 1000)")
+		seed    = flag.Uint64("seed", 42, "base RNG seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		apps    = flag.String("apps", "", "comma-separated application filter (default: experiment-specific)")
+		values  = flag.Bool("values", false, "also print machine-readable headline values")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-10s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	p := experiments.Params{Runs: *runs, Seed: *seed, Workers: *workers}
+	if *apps != "" {
+		p.Apps = strings.Split(*apps, ",")
+	}
+
+	var defs []experiments.Def
+	if *run == "all" {
+		defs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			d, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defs = append(defs, d)
+		}
+	}
+
+	for _, d := range defs {
+		r := d.Run(p)
+		fmt.Printf("=== %s (%s)\n\n%s\n", r.Title, r.ID, r.Text)
+		if *values {
+			fmt.Println(experiments.RenderResultValues(r))
+		}
+	}
+}

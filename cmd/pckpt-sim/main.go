@@ -1,0 +1,103 @@
+// Command pckpt-sim runs one C/R-model simulation configuration and
+// prints its averaged overhead breakdown — the basic unit of every
+// experiment in the paper.
+//
+// Usage:
+//
+//	pckpt-sim -app CHIMERA -model P2 -runs 500
+//	pckpt-sim -app XGC -model M2 -system "LANL System 18" -lead-scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pckpt/internal/crmodel"
+	"pckpt/internal/failure"
+	"pckpt/internal/lm"
+	"pckpt/internal/stats"
+	"pckpt/internal/tablefmt"
+	"pckpt/internal/trace"
+	"pckpt/internal/workload"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "CHIMERA", "application from the Table I catalogue")
+		modelName = flag.String("model", "P2", "C/R model: B, M1, M2, P1, P2")
+		sysName   = flag.String("system", "OLCF Titan", "failure distribution from the Table III catalogue")
+		runs      = flag.Int("runs", 200, "simulation runs to average")
+		seed      = flag.Uint64("seed", 42, "base RNG seed")
+		leadScale = flag.Float64("lead-scale", 1.0, "lead-time scale factor (1.1 = +10%)")
+		fnRate    = flag.Float64("fn", failure.DefaultFNRate, "predictor false-negative rate")
+		fpRate    = flag.Float64("fp", failure.DefaultFPRate, "predictor false-positive share")
+		alpha     = flag.Float64("alpha", lm.DefaultAlpha, "LM transfer to checkpoint size ratio")
+		baseline  = flag.Bool("baseline", true, "also run model B and print reductions")
+		showTrace = flag.Bool("trace", false, "trace one run (the base seed) and print its timeline summary")
+	)
+	flag.Parse()
+
+	app, err := workload.ByName(*appName)
+	exitOn(err)
+	model, err := crmodel.ModelByName(*modelName)
+	exitOn(err)
+	sys, err := failure.SystemByName(*sysName)
+	exitOn(err)
+
+	cfg := crmodel.Config{
+		Model:     model,
+		App:       app,
+		System:    sys,
+		LM:        lm.Default().WithAlpha(*alpha),
+		LeadScale: *leadScale,
+		FNRate:    *fnRate,
+		FPRate:    *fpRate,
+	}
+	exitOn(cfg.Validate())
+
+	fmt.Printf("%s on %s under %s (%d runs, seed %d)\n", model, app, sys.Name, *runs, *seed)
+	fmt.Printf("θ = %.2f s, σ = %.3f, per-node checkpoint = %.2f GB\n\n", cfg.Theta(), cfg.Sigma(), app.PerNodeGB())
+
+	agg := crmodel.SimulateN(cfg, *runs, *seed)
+	mo := agg.MeanOverheads()
+
+	if *showTrace {
+		var buf trace.Buffer
+		tcfg := cfg
+		tcfg.Trace = &buf
+		crmodel.Simulate(tcfg, *seed)
+		fmt.Println("single-run timeline (seed", *seed, "):")
+		fmt.Println(buf.Gantt(100))
+		fmt.Println()
+		fmt.Print(buf.Summary())
+		fmt.Println()
+	}
+
+	t := tablefmt.NewTable("metric", "value")
+	t.AddRow("checkpoint overhead", tablefmt.Hours(mo.Checkpoint))
+	t.AddRow("recomputation overhead", tablefmt.Hours(mo.Recompute))
+	t.AddRow("recovery overhead", tablefmt.Hours(mo.Recovery))
+	t.AddRow("total overhead", tablefmt.Hours(mo.Total()))
+	t.AddRow("mean wall time", tablefmt.Hours(agg.MeanWallSeconds()))
+	t.AddRow("FT ratio", fmt.Sprintf("%.3f", agg.MeanFTRatio()))
+	s := agg.TotalSummary()
+	t.AddRow("total overhead 95% CI", fmt.Sprintf("[%s, %s]", tablefmt.Hours(s.CI95Lo), tablefmt.Hours(s.CI95Hi)))
+	fmt.Println(t.String())
+
+	if *baseline && model != crmodel.ModelB {
+		bcfg := cfg
+		bcfg.Model = crmodel.ModelB
+		base := crmodel.SimulateN(bcfg, *runs, *seed).MeanOverheads()
+		ck, rc, rv, tot := stats.ReductionBreakdown(base, mo)
+		fmt.Printf("vs base model B: checkpoint %s, recomputation %s, recovery %s, TOTAL %s\n",
+			tablefmt.Percent(ck), tablefmt.Percent(rc), tablefmt.Percent(rv), tablefmt.Percent(tot))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,55 @@
+// Global coordination: the paper's out-of-scope extension in action.
+// Three applications share the machine; their p-ckpt episodes overlap.
+// Under the published per-job protocol, one job's vulnerable node races
+// its failure deadline while another job's 1500-node phase-2 flood owns
+// the PFS — and loses. A machine-wide vulnerable-first view restores the
+// contention-free critical path.
+//
+//	go run ./examples/global_coordination
+package main
+
+import (
+	"fmt"
+
+	"pckpt/internal/globalview"
+	"pckpt/internal/iomodel"
+)
+
+func main() {
+	io := iomodel.New(iomodel.DefaultSummit())
+	cfg := globalview.Config{
+		Jobs: []globalview.Job{
+			{Name: "S3D-A", Nodes: 505, PerNodeGB: 40},
+			{Name: "S3D-B", Nodes: 505, PerNodeGB: 40},
+			{Name: "XGC-C", Nodes: 1515, PerNodeGB: 98.76},
+		},
+		IO: io,
+	}
+
+	// XGC-C's episode starts first; its huge bulk phase is mid-flight
+	// when the two S3D jobs' short-lead predictions arrive.
+	preds := []globalview.Prediction{
+		{Job: 2, Node: 100, At: 0, Lead: 1000},
+		{Job: 0, Node: 7, At: 15, Lead: io.SingleNodePFSWriteTime(40) * 2},
+		{Job: 1, Node: 9, At: 16, Lead: io.SingleNodePFSWriteTime(40) * 2},
+	}
+
+	for _, mode := range []globalview.Mode{globalview.PerJob, globalview.Global} {
+		c := cfg
+		c.Mode = mode
+		res := globalview.Run(c, preds)
+		fmt.Printf("--- %s coordination (peak concurrent writer groups: %d)\n", mode, res.PeakLaneSharers)
+		for _, o := range res.Outcomes {
+			verdict := "MISSED"
+			if o.Mitigated {
+				verdict = "mitigated"
+			}
+			fmt.Printf("  %-6s node %-3d commit %7.2fs  deadline %7.2fs  episode done %8.2fs  %s\n",
+				res.Jobs[o.Job].Name, o.Node, o.CommitAt, o.Deadline, o.EpisodeEnd, verdict)
+		}
+		fmt.Printf("  FT ratio: %.2f\n\n", res.FTRatio())
+	}
+	fmt.Println("The global view defers XGC-C's bulk phase for a few seconds so both")
+	fmt.Println("S3D vulnerable nodes commit uncontended — the deadline math of the")
+	fmt.Println("p-ckpt paper holds machine-wide only with a global system view.")
+}

@@ -1,0 +1,3 @@
+module pckpt
+
+go 1.22

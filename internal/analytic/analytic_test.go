@@ -1,0 +1,184 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigmaMax(t *testing.T) {
+	// (√5−1)/2: the golden-ratio conjugate, ≈0.618, the paper's "σ < 0.61".
+	if SigmaMax < 0.617 || SigmaMax > 0.619 {
+		t.Fatalf("SigmaMax = %g", SigmaMax)
+	}
+	// At σ = SigmaMax, LM's combined savings equal the base recomputation
+	// overhead exactly (the binding constraint): σ + (1−√(1−σ)) = 1.
+	if got := SigmaMax + 1 - math.Sqrt(1-SigmaMax); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("constraint at SigmaMax = %g, want 1", got)
+	}
+}
+
+func TestCkptReductionLM(t *testing.T) {
+	if got := CkptReductionLM(100, 0); got != 0 {
+		t.Fatalf("σ=0 must reduce nothing, got %g", got)
+	}
+	// σ = 0.75 → 1−√0.25 = 0.5.
+	if got := CkptReductionLM(100, 0.75); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("CkptReductionLM = %g, want 50", got)
+	}
+}
+
+func TestBetaKnownValues(t *testing.T) {
+	// α=3, σ=0.5 → (3−1+0.5)/3 = 5/6.
+	if got := Beta(3, 0.5); math.Abs(got-5.0/6) > 1e-12 {
+		t.Fatalf("Beta(3, 0.5) = %g", got)
+	}
+	// α=1 → β=σ: same footprint means p-ckpt and LM cover equal leads.
+	if got := Beta(1, 0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("Beta(1, 0.3) = %g", got)
+	}
+	// Tiny α with σ=0 would be negative: clamps to 0.
+	if got := Beta(0.5, 0); got != 0 {
+		t.Fatalf("Beta(0.5, 0) = %g", got)
+	}
+}
+
+func TestBetaMonotoneQuick(t *testing.T) {
+	f := func(aRaw, sRaw uint16) bool {
+		alpha := 1 + float64(aRaw%400)/100 // [1, 5)
+		sigma := float64(sRaw%61) / 100    // [0, 0.61)
+		b1 := Beta(alpha, sigma)
+		b2 := Beta(alpha+0.1, sigma)
+		b3 := Beta(alpha, math.Min(sigma+0.01, 0.6))
+		// β grows with α (larger LM footprint leaves p-ckpt more wins)
+		// and with σ.
+		return b2 >= b1-1e-12 && b3 >= b1-1e-12 && b1 >= sigma-1e-12 && b1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaThresholdEndpoints(t *testing.T) {
+	// The paper: 1.04 ≤ α < 1.30 over 0 ≤ σ < 0.61.
+	lo, hi := AlphaRange()
+	if lo < 1.03 || lo > 1.06 {
+		t.Fatalf("α at σ=0.1 is %.3f, want ≈1.05", lo)
+	}
+	if hi < 1.28 || hi > 1.32 {
+		t.Fatalf("α at σ=SigmaMax is %.3f, want ≈1.30", hi)
+	}
+	if got := AlphaThreshold(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("α threshold at σ=0 is %g, want 1", got)
+	}
+}
+
+func TestAlphaThresholdMonotone(t *testing.T) {
+	prev := 0.0
+	for s := 0.0; s < SigmaMax; s += 0.01 {
+		a := AlphaThreshold(s)
+		if a < prev {
+			t.Fatalf("threshold not monotone at σ=%.2f", s)
+		}
+		prev = a
+	}
+}
+
+func TestPckptWinsConsistentWithExactThreshold(t *testing.T) {
+	// With a 50/50 overhead split, Eq. (7) must flip exactly at the
+	// self-consistent threshold.
+	for s := 0.0; s < 0.55; s += 0.05 {
+		threshold := AlphaThresholdExact(s)
+		for _, da := range []float64{-0.01, 0.01} {
+			alpha := threshold + da
+			if alpha <= 0 {
+				continue
+			}
+			want := da > 0
+			if got := PckptWins(alpha, s, 100, 100); got != want {
+				t.Errorf("σ=%.2f α=%.3f: PckptWins=%v, exact threshold says %v", s, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestPublishedEq8IsLowerBound(t *testing.T) {
+	// The paper's simplified Eq. (8) under-estimates the break-even α
+	// relative to the bound implied by its own Eq. (7); it coincides only
+	// at σ=0. Document that relationship.
+	if a, b := AlphaThreshold(0), AlphaThresholdExact(0); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("thresholds differ at σ=0: %g vs %g", a, b)
+	}
+	for s := 0.05; s < 0.55; s += 0.05 {
+		if AlphaThreshold(s) >= AlphaThresholdExact(s) {
+			t.Errorf("σ=%.2f: published %.3f not below exact %.3f", s, AlphaThreshold(s), AlphaThresholdExact(s))
+		}
+	}
+}
+
+func TestAlphaThresholdExactDiverges(t *testing.T) {
+	if !math.IsInf(AlphaThresholdExact(SigmaMax), 1) {
+		t.Fatal("exact threshold must diverge at SigmaMax")
+	}
+}
+
+func TestPckptWinsRecomputeHeavy(t *testing.T) {
+	// Recompute-dominated overhead favours p-ckpt even at modest α.
+	if !PckptWins(1.2, 0.1, 1000, 10) {
+		t.Fatal("recompute-heavy workload should favour p-ckpt")
+	}
+	// Checkpoint-dominated overhead favours LM.
+	if PckptWins(1.2, 0.5, 10, 1000) {
+		t.Fatal("checkpoint-heavy workload should favour LM")
+	}
+}
+
+func TestPckptWinsLargeAlpha(t *testing.T) {
+	// Observation 8: the larger the checkpoint (hence LM transfer), the
+	// bigger p-ckpt's advantage. α=3 (the paper's default) with any
+	// balanced overhead favours p-ckpt.
+	if !PckptWins(3, 0.3, 100, 100) {
+		t.Fatal("α=3 must favour p-ckpt at balanced overheads")
+	}
+}
+
+func TestPckptWinsDegenerate(t *testing.T) {
+	// β ≤ σ: LM covers everything p-ckpt covers; p-ckpt cannot win.
+	if PckptWins(0.9, 0.3, 1000, 100) {
+		t.Fatal("β<σ must not win")
+	}
+	// Zero checkpoint overhead: decided purely on recomputation.
+	if !PckptWins(2, 0.3, 100, 0) {
+		t.Fatal("zero ckpt overhead with β>σ must favour p-ckpt")
+	}
+}
+
+func TestRecompReductions(t *testing.T) {
+	if got := RecompReductionLM(200, 0.25); got != 50 {
+		t.Fatalf("RecompReductionLM = %g", got)
+	}
+	want := 200 * Beta(3, 0.25)
+	if got := RecompReductionPckpt(200, 3, 0.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RecompReductionPckpt = %g, want %g", got, want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { CkptReductionLM(1, -0.1) },
+		func() { CkptReductionLM(1, 1) },
+		func() { CkptReductionLM(-1, 0.5) },
+		func() { Beta(0, 0.5) },
+		func() { AlphaThreshold(-0.01) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,242 @@
+// Package cluster tracks the simulated machine: the job's compute nodes
+// with their health state and the checkpoint data resident on each
+// node-local burst buffer and on the PFS, plus the reserved spare-node
+// pool the resource manager draws replacements from (the paper assumes
+// the recovery rate of failed nodes keeps spares available; the pool
+// makes that assumption checkable).
+package cluster
+
+import "fmt"
+
+// State is a node's health state, following the paper's Fig. 5.
+type State uint8
+
+const (
+	// Healthy: normal computation and periodic checkpointing.
+	Healthy State = iota
+	// Vulnerable: a failure has been predicted for this node.
+	Vulnerable
+	// Migrating: the node's process is being live-migrated away.
+	Migrating
+	// Failed: the node failed and awaits replacement.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Vulnerable:
+		return "vulnerable"
+	case Migrating:
+		return "migrating"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Node is one job node's bookkeeping.
+type Node struct {
+	// ID is the job-local node index.
+	ID int
+	// State is the current health state.
+	State State
+	// PredictedFailAt is the predicted failure time while Vulnerable or
+	// Migrating; zero otherwise.
+	PredictedFailAt float64
+	// BBProgress is the application progress (simulated seconds of
+	// computation) captured by the newest checkpoint on this node's
+	// burst buffer; negative means none.
+	BBProgress float64
+	// PFSProgress is the progress captured by this node's newest
+	// checkpoint committed to the PFS; negative means none.
+	PFSProgress float64
+	// Replacements counts how many times this logical rank has been
+	// re-hosted on a spare after failures.
+	Replacements int
+}
+
+// Cluster is the job's node set plus the spare pool.
+type Cluster struct {
+	nodes  []Node
+	spares int
+	used   int
+}
+
+// New builds a cluster of n job nodes backed by spares reserve nodes.
+func New(n, spares int) *Cluster {
+	if n <= 0 {
+		panic("cluster: non-positive node count")
+	}
+	if spares < 0 {
+		panic("cluster: negative spare count")
+	}
+	c := &Cluster{nodes: make([]Node, n), spares: spares}
+	for i := range c.nodes {
+		c.nodes[i].ID = i
+		c.nodes[i].BBProgress = -1
+		c.nodes[i].PFSProgress = -1
+	}
+	return c
+}
+
+// Len returns the job's node count.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Node returns a pointer to node id for inspection and mutation.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range [0, %d)", id, len(c.nodes)))
+	}
+	return &c.nodes[id]
+}
+
+// SparesLeft returns how many reserve nodes remain.
+func (c *Cluster) SparesLeft() int { return c.spares - c.used }
+
+// MarkVulnerable transitions a node to Vulnerable with the given
+// predicted failure time. A vulnerable or migrating node may be re-marked
+// (a newer prediction supersedes); a failed node may not.
+func (c *Cluster) MarkVulnerable(id int, failAt float64) error {
+	n := c.Node(id)
+	if n.State == Failed {
+		return fmt.Errorf("cluster: node %d is failed, cannot mark vulnerable", id)
+	}
+	n.State = Vulnerable
+	n.PredictedFailAt = failAt
+	return nil
+}
+
+// MarkMigrating transitions a vulnerable node to Migrating.
+func (c *Cluster) MarkMigrating(id int) error {
+	n := c.Node(id)
+	if n.State != Vulnerable {
+		return fmt.Errorf("cluster: node %d is %v, cannot start migration", id, n.State)
+	}
+	n.State = Migrating
+	return nil
+}
+
+// MarkHealthy returns a node to Healthy (prediction resolved: the failure
+// was avoided, mitigated, or turned out spurious).
+func (c *Cluster) MarkHealthy(id int) {
+	n := c.Node(id)
+	if n.State == Failed {
+		panic(fmt.Sprintf("cluster: node %d is failed; use Replace", id))
+	}
+	n.State = Healthy
+	n.PredictedFailAt = 0
+}
+
+// Fail records a node failure. The node keeps its Failed state until
+// Replace is called.
+func (c *Cluster) Fail(id int) {
+	n := c.Node(id)
+	n.State = Failed
+	n.PredictedFailAt = 0
+	// The node's burst buffer dies with it: its staged checkpoint is
+	// gone. The PFS copy survives.
+	n.BBProgress = -1
+}
+
+// Replace swaps a failed node for a spare: the logical rank becomes a
+// fresh healthy node with an empty burst buffer. It reports an error when
+// the spare pool is exhausted.
+func (c *Cluster) Replace(id int) error {
+	n := c.Node(id)
+	if n.State != Failed {
+		return fmt.Errorf("cluster: node %d is %v, not failed", id, n.State)
+	}
+	if c.SparesLeft() <= 0 {
+		return fmt.Errorf("cluster: spare pool exhausted replacing node %d", id)
+	}
+	c.used++
+	n.State = Healthy
+	n.Replacements++
+	n.BBProgress = -1
+	return nil
+}
+
+// RecordBBCheckpoint notes that node id staged a checkpoint capturing the
+// given application progress on its burst buffer.
+func (c *Cluster) RecordBBCheckpoint(id int, progress float64) {
+	c.Node(id).BBProgress = progress
+}
+
+// RecordPFSCheckpoint notes that node id committed a checkpoint capturing
+// the given progress to the PFS.
+func (c *Cluster) RecordPFSCheckpoint(id int, progress float64) {
+	c.Node(id).PFSProgress = progress
+}
+
+// RecordBBCheckpointAll stages a checkpoint on every non-failed node.
+func (c *Cluster) RecordBBCheckpointAll(progress float64) {
+	for i := range c.nodes {
+		if c.nodes[i].State != Failed {
+			c.nodes[i].BBProgress = progress
+		}
+	}
+}
+
+// RecordPFSCheckpointAll commits a checkpoint for every non-failed node.
+func (c *Cluster) RecordPFSCheckpointAll(progress float64) {
+	for i := range c.nodes {
+		if c.nodes[i].State != Failed {
+			c.nodes[i].PFSProgress = progress
+		}
+	}
+}
+
+// Vulnerable returns the IDs of nodes currently Vulnerable or Migrating,
+// ascending.
+func (c *Cluster) Vulnerable() []int {
+	var out []int
+	for i := range c.nodes {
+		if s := c.nodes[i].State; s == Vulnerable || s == Migrating {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountState returns how many nodes are in the given state.
+func (c *Cluster) CountState(s State) int {
+	count := 0
+	for i := range c.nodes {
+		if c.nodes[i].State == s {
+			count++
+		}
+	}
+	return count
+}
+
+// RecoverableProgress returns the newest application progress the whole
+// job can restart from after an unhandled failure of node failedID: every
+// healthy node restores from its burst buffer, the replacement restores
+// from the PFS, so recovery is bounded by the failed node's PFS copy and
+// the healthy nodes' BB copies. A negative result means no consistent
+// restart point exists (restart from the beginning).
+//
+// The paper's checkpoint model keeps all nodes' checkpoints aligned (all
+// nodes save state together), so in practice the minimum is the last
+// completed coordinated checkpoint that also finished draining for the
+// failed node.
+func (c *Cluster) RecoverableProgress(failedID int) float64 {
+	min := c.Node(failedID).PFSProgress
+	for i := range c.nodes {
+		if i == failedID {
+			continue
+		}
+		p := c.nodes[i].BBProgress
+		if c.nodes[i].PFSProgress > p {
+			p = c.nodes[i].PFSProgress
+		}
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInitialState(t *testing.T) {
+	c := New(4, 2)
+	if c.Len() != 4 || c.SparesLeft() != 2 {
+		t.Fatalf("Len=%d spares=%d", c.Len(), c.SparesLeft())
+	}
+	for i := 0; i < 4; i++ {
+		n := c.Node(i)
+		if n.State != Healthy || n.BBProgress >= 0 || n.PFSProgress >= 0 {
+			t.Fatalf("node %d not pristine: %+v", i, n)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for i, fn := range []func(){func() { New(0, 1) }, func() { New(3, -1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNodeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(3, 0).Node(3)
+}
+
+func TestVulnerableLifecycle(t *testing.T) {
+	c := New(5, 1)
+	if err := c.MarkVulnerable(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Vulnerable(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Vulnerable() = %v", got)
+	}
+	if c.Node(2).PredictedFailAt != 100 {
+		t.Fatal("predicted fail time not recorded")
+	}
+	// Re-marking with a newer prediction is allowed.
+	if err := c.MarkVulnerable(2, 50); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkHealthy(2)
+	if c.Node(2).State != Healthy || c.Node(2).PredictedFailAt != 0 {
+		t.Fatal("MarkHealthy did not reset")
+	}
+}
+
+func TestMigratingRequiresVulnerable(t *testing.T) {
+	c := New(3, 0)
+	if err := c.MarkMigrating(0); err == nil {
+		t.Fatal("migrating a healthy node accepted")
+	}
+	c.MarkVulnerable(0, 10)
+	if err := c.MarkMigrating(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Vulnerable(); len(got) != 1 {
+		t.Fatalf("migrating node not reported vulnerable: %v", got)
+	}
+}
+
+func TestFailAndReplace(t *testing.T) {
+	c := New(3, 1)
+	c.RecordBBCheckpointAll(50)
+	c.RecordPFSCheckpointAll(40)
+	c.Fail(1)
+	if c.Node(1).State != Failed {
+		t.Fatal("node not failed")
+	}
+	if c.Node(1).BBProgress >= 0 {
+		t.Fatal("failed node kept its burst buffer")
+	}
+	if c.Node(1).PFSProgress != 40 {
+		t.Fatal("PFS copy must survive a node failure")
+	}
+	if err := c.Replace(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(1).State != Healthy || c.Node(1).Replacements != 1 {
+		t.Fatalf("replacement wrong: %+v", c.Node(1))
+	}
+	if c.SparesLeft() != 0 {
+		t.Fatalf("spares left %d, want 0", c.SparesLeft())
+	}
+}
+
+func TestReplaceExhaustsSpares(t *testing.T) {
+	c := New(2, 1)
+	c.Fail(0)
+	if err := c.Replace(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Fail(1)
+	if err := c.Replace(1); err == nil {
+		t.Fatal("replacement from empty pool accepted")
+	}
+}
+
+func TestReplaceRequiresFailed(t *testing.T) {
+	c := New(2, 1)
+	if err := c.Replace(0); err == nil {
+		t.Fatal("replacing a healthy node accepted")
+	}
+}
+
+func TestMarkVulnerableOnFailed(t *testing.T) {
+	c := New(2, 1)
+	c.Fail(0)
+	if err := c.MarkVulnerable(0, 10); err == nil {
+		t.Fatal("marking a failed node vulnerable accepted")
+	}
+}
+
+func TestMarkHealthyOnFailedPanics(t *testing.T) {
+	c := New(2, 1)
+	c.Fail(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.MarkHealthy(0)
+}
+
+func TestCountState(t *testing.T) {
+	c := New(5, 2)
+	c.MarkVulnerable(0, 1)
+	c.MarkVulnerable(1, 2)
+	c.Fail(4)
+	if c.CountState(Healthy) != 2 || c.CountState(Vulnerable) != 2 || c.CountState(Failed) != 1 {
+		t.Fatalf("counts wrong: H=%d V=%d F=%d", c.CountState(Healthy), c.CountState(Vulnerable), c.CountState(Failed))
+	}
+}
+
+func TestRecoverableProgress(t *testing.T) {
+	c := New(3, 1)
+	// Coordinated checkpoint at progress 100 staged on BBs, earlier one
+	// at 60 fully on PFS.
+	c.RecordPFSCheckpointAll(60)
+	c.RecordBBCheckpointAll(100)
+	c.Fail(1)
+	// Node 1 lost its BB; it recovers from PFS@60. Healthy nodes hold
+	// BB@100 but must roll back to the consistent cut at 60.
+	if got := c.RecoverableProgress(1); got != 60 {
+		t.Fatalf("RecoverableProgress = %g, want 60", got)
+	}
+}
+
+func TestRecoverableProgressAfterDrain(t *testing.T) {
+	c := New(3, 1)
+	c.RecordBBCheckpointAll(100)
+	c.RecordPFSCheckpointAll(100) // drain completed
+	c.Fail(2)
+	if got := c.RecoverableProgress(2); got != 100 {
+		t.Fatalf("RecoverableProgress = %g, want 100", got)
+	}
+}
+
+func TestRecoverableProgressNoCheckpoint(t *testing.T) {
+	c := New(2, 1)
+	c.Fail(0)
+	if got := c.RecoverableProgress(0); got >= 0 {
+		t.Fatalf("RecoverableProgress = %g, want negative (restart)", got)
+	}
+}
+
+// TestStateMachineQuick drives a random operation sequence and checks
+// invariants: vulnerable+migrating counts match Vulnerable(), spares
+// never go negative, and failed nodes never appear in Vulnerable().
+func TestStateMachineQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(8, 100)
+		for _, op := range ops {
+			id := int(op) % 8
+			switch (op / 8) % 5 {
+			case 0:
+				c.MarkVulnerable(id, float64(op))
+			case 1:
+				if c.Node(id).State == Vulnerable {
+					c.MarkMigrating(id)
+				}
+			case 2:
+				if c.Node(id).State != Failed {
+					c.MarkHealthy(id)
+				}
+			case 3:
+				c.Fail(id)
+			case 4:
+				if c.Node(id).State == Failed {
+					c.Replace(id)
+				}
+			}
+		}
+		if c.SparesLeft() < 0 {
+			return false
+		}
+		vuln := map[int]bool{}
+		for _, id := range c.Vulnerable() {
+			vuln[id] = true
+			if s := c.Node(id).State; s != Vulnerable && s != Migrating {
+				return false
+			}
+		}
+		return len(vuln) == c.CountState(Vulnerable)+c.CountState(Migrating)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Healthy: "healthy", Vulnerable: "vulnerable", Migrating: "migrating", Failed: "failed"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

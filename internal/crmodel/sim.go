@@ -1,0 +1,535 @@
+package crmodel
+
+import (
+	"fmt"
+	"math"
+
+	"pckpt/internal/cluster"
+	"pckpt/internal/failure"
+	"pckpt/internal/iomodel"
+	"pckpt/internal/oci"
+	"pckpt/internal/queue"
+	"pckpt/internal/rng"
+	"pckpt/internal/sim"
+	"pckpt/internal/stats"
+	"pckpt/internal/trace"
+)
+
+// appSim is the state of one simulation run: a single application process
+// executing compute/checkpoint cycles on the DES, an injector process
+// delivering the failure/prediction stream, and the policy of the
+// configured C/R model.
+type appSim struct {
+	cfg    Config
+	io     *iomodel.Model
+	env    *sim.Env
+	app    *sim.Proc
+	stream *failure.Stream
+	est    *failure.RateEstimator
+	cl     *cluster.Cluster
+
+	// Precomputed platform quantities (seconds / GB).
+	total       float64 // required compute seconds
+	perNode     float64 // per-node checkpoint footprint, GB
+	nodes       int
+	tBB         float64 // synchronous BB write
+	drainDur    float64 // asynchronous BB→PFS drain
+	sigma       float64 // Eq. (2) σ (0 for B/M1/P1)
+	theta       float64 // LM lead threshold
+	singleWrite float64 // one node's uncontended PFS write (p-ckpt phase 1)
+	fullWrite   float64 // all-node contended PFS write (safeguard)
+	recoveryBB  float64 // unhandled-failure recovery (BB + replacement PFS read)
+	recoveryPFS float64 // mitigated-failure recovery (all nodes from PFS)
+
+	// Dynamic state.
+	progress    float64 // completed computation, seconds
+	bbProgress  float64 // newest BB-staged coordinated checkpoint (-1 none)
+	pfsProgress float64 // newest fully-PFS-resident checkpoint (-1 none)
+	drainGen    int
+	curOCI      float64
+
+	// Event plumbing: the injector appends, the app drains on interrupt.
+	pending []failure.Event
+	// failEpoch increments on every failure. A blocking activity (BB
+	// write, safeguard, episode write, recovery) that observes the epoch
+	// change mid-wait is void: the state it was saving rolled back.
+	// A counter (not a flag) so that nested handling — a recovery running
+	// inside the interrupted activity's wait — cannot mask the abort.
+	failEpoch int
+	// rescheduled is raised when a proactive action committed a full
+	// checkpoint, so the compute loop re-bases its next periodic one.
+	rescheduled bool
+
+	predicted    map[int64]predInfo // outstanding true predictions
+	mitigatedAt  map[int64]float64  // failure ID → PFS-recoverable progress
+	avoided      map[int64]bool     // failure IDs neutralised by LM
+	migrations   map[int]*migration // node → in-flight migration
+	episode      *episodeState      // non-nil while a p-ckpt episode runs
+	safeguarding bool               // M1 safeguard in flight
+
+	res stats.RunResult
+}
+
+// trace emits a timeline event when tracing is enabled.
+func (a *appSim) trace(kind trace.Kind, node int, detail string) {
+	if a.cfg.Trace == nil {
+		return
+	}
+	a.cfg.Trace.Record(trace.Event{
+		T:        a.env.Now(),
+		Kind:     kind,
+		Node:     node,
+		Progress: a.progress,
+		Detail:   detail,
+	})
+}
+
+type predInfo struct {
+	node   int
+	failAt float64
+}
+
+type migration struct {
+	ev      failure.Event
+	aborted bool
+}
+
+// episodeState is a live p-ckpt episode: the lead-time priority queue of
+// vulnerable nodes plus the progress the episode snapshots.
+type episodeState struct {
+	q             queue.PQ[failure.Event]
+	startProgress float64
+	committed     int
+	abandoned     bool
+}
+
+// Simulate executes one run and returns its accounting. Deterministic in
+// (cfg, seed).
+func Simulate(cfg Config, seed uint64) stats.RunResult {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(seed)
+	a := &appSim{
+		cfg:         cfg,
+		io:          cfg.IO,
+		env:         sim.NewEnv(),
+		est:         failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
+		cl:          cluster.New(cfg.App.Nodes, math.MaxInt32),
+		total:       cfg.App.ComputeSeconds(),
+		perNode:     cfg.App.PerNodeGB(),
+		nodes:       cfg.App.Nodes,
+		bbProgress:  -1,
+		pfsProgress: -1,
+		predicted:   make(map[int64]predInfo),
+		mitigatedAt: make(map[int64]float64),
+		avoided:     make(map[int64]bool),
+		migrations:  make(map[int]*migration),
+	}
+	a.stream = failure.NewStream(failure.Config{
+		System:    cfg.System,
+		JobNodes:  cfg.App.Nodes,
+		Leads:     cfg.Leads,
+		LeadScale: cfg.LeadScale,
+		FNRate:    cfg.FNRate,
+		FPRate:    cfg.FPRate,
+	}, src.Split(1))
+	a.tBB = a.io.BBWriteTime(a.perNode)
+	a.drainDur = a.io.DrainTime(a.nodes, a.perNode)
+	a.theta = cfg.LM.Theta(a.perNode)
+	a.sigma = cfg.Sigma()
+	a.singleWrite = a.io.SingleNodePFSWriteTime(a.perNode)
+	a.fullWrite = a.io.PFSWriteTime(a.nodes, a.perNode)
+	a.recoveryBB = math.Max(a.io.BBReadTime(a.perNode), a.io.SingleNodePFSReadTime(a.perNode))
+	a.recoveryPFS = a.io.PFSReadTime(a.nodes, a.perNode)
+
+	a.app = a.env.Spawn("app", a.run)
+	a.env.Spawn("injector", a.inject)
+	a.env.RunAll()
+	return a.res
+}
+
+// refreshOCI re-derives the checkpoint interval from the current failure
+// rate estimate, per Eq. (1) (σ=0) or Eq. (2).
+func (a *appSim) refreshOCI() {
+	rate := a.est.Rate(a.env.Now())
+	a.curOCI = oci.FromJobRate(a.tBB, rate, a.sigma)
+}
+
+// run is the application process: compute OCI seconds, checkpoint to BB,
+// repeat until the required computation completes.
+func (a *appSim) run(p *sim.Proc) {
+	for a.progress < a.total {
+		a.computeChunk(p)
+		if a.progress >= a.total {
+			break
+		}
+		a.bbCheckpoint(p)
+	}
+	a.res.WallSeconds = a.env.Now()
+	a.trace(trace.Complete, -1, "")
+}
+
+// computeChunk advances the application by one checkpoint interval,
+// absorbing interrupts (failures roll progress back; proactive actions
+// block inside the handlers).
+func (a *appSim) computeChunk(p *sim.Proc) {
+	a.refreshOCI()
+	target := math.Min(a.progress+a.curOCI, a.total)
+	a.trace(trace.CycleStart, -1, fmt.Sprintf("interval=%.0fs", target-a.progress))
+	for a.progress < target {
+		start := a.env.Now()
+		err := p.Wait(target - a.progress)
+		a.progress += a.env.Now() - start
+		if err == nil {
+			return
+		}
+		a.handleEvents(p)
+		if a.rescheduled {
+			// A proactive action committed a full checkpoint; re-base
+			// the periodic schedule on the fresh interval (the paper's
+			// adaptive checkpoint schedule).
+			a.rescheduled = false
+			a.refreshOCI()
+			target = math.Min(a.progress+a.curOCI, a.total)
+		}
+	}
+}
+
+// bbCheckpoint performs the synchronous burst-buffer write of a periodic
+// checkpoint and launches the asynchronous PFS drain.
+func (a *appSim) bbCheckpoint(p *sim.Proc) {
+	if !a.blockedWait(p, a.tBB, &a.res.Overheads.Checkpoint) {
+		// A failure voided the write and rolled progress back; resume
+		// computing, the next cycle will checkpoint the redone state.
+		return
+	}
+	a.res.Checkpoints++
+	a.bbProgress = a.progress
+	a.trace(trace.BBWrite, -1, "")
+	a.cl.RecordBBCheckpointAll(a.progress)
+	a.drainGen++
+	gen := a.drainGen
+	captured := a.progress
+	a.env.At(a.drainDur, func() {
+		// The drain completes unless a newer checkpoint superseded it
+		// (each BB write restarts the drain of the newest data).
+		if gen == a.drainGen {
+			a.commitFullPFS(captured)
+			a.trace(trace.DrainDone, -1, "")
+		}
+	})
+}
+
+// blockedWait blocks the application for dur seconds, accounting the time
+// into bucket and processing any events that interrupt it. It returns
+// false if a failure voided the activity before dur fully elapsed, true
+// on completion.
+func (a *appSim) blockedWait(p *sim.Proc, dur float64, bucket *float64) bool {
+	epoch := a.failEpoch
+	remaining := dur
+	for remaining > 0 {
+		start := a.env.Now()
+		err := p.Wait(remaining)
+		elapsed := a.env.Now() - start
+		remaining -= elapsed
+		*bucket += elapsed
+		if err == nil {
+			return true
+		}
+		a.handleEvents(p)
+		if a.failEpoch != epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// handleEvents drains the pending queue.
+func (a *appSim) handleEvents(p *sim.Proc) {
+	for len(a.pending) > 0 {
+		ev := a.pending[0]
+		a.pending = a.pending[1:]
+		switch ev.Kind {
+		case failure.KindPrediction, failure.KindSpurious:
+			a.onPrediction(p, ev)
+		case failure.KindFailure:
+			a.onFailure(p, ev)
+		}
+	}
+}
+
+// onPrediction applies the model's proactive policy.
+func (a *appSim) onPrediction(p *sim.Proc, ev failure.Event) {
+	if ev.Kind == failure.KindPrediction {
+		a.predicted[ev.ID] = predInfo{node: ev.Node, failAt: ev.FailTime}
+		a.trace(trace.Prediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
+	} else {
+		a.trace(trace.SpuriousPrediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
+	}
+	if err := a.cl.MarkVulnerable(ev.Node, ev.FailTime); err == nil {
+		// Clear the vulnerable mark once the predicted failure time has
+		// passed without a newer prediction superseding it (spurious
+		// predictions, and predictions the model takes no action on,
+		// would otherwise pin the node vulnerable forever).
+		failAt := ev.FailTime
+		node := ev.Node
+		a.env.At(math.Max(failAt-a.env.Now(), 0), func() {
+			n := a.cl.Node(node)
+			if n.State == cluster.Vulnerable && n.PredictedFailAt == failAt {
+				a.cl.MarkHealthy(node)
+			}
+		})
+	}
+	switch {
+	case a.cfg.Model.usesPckpt():
+		if a.episode != nil {
+			if !a.episode.abandoned {
+				// Phase 1 in progress: the new vulnerable node joins the
+				// node-local priority queue (lower lead = higher
+				// priority). Abandoned episodes accept no work; the
+				// prediction goes unserved, as it would on a real system
+				// mid-recovery.
+				a.episode.q.Push(ev.FailTime, ev)
+			}
+			return
+		}
+		if a.cfg.Model == ModelP2 && ev.Lead >= a.theta && a.migrations[ev.Node] == nil {
+			a.startMigration(ev)
+			return
+		}
+		a.pckptEpisode(p, ev)
+	case a.cfg.Model.usesLM():
+		if ev.Lead >= a.theta && a.migrations[ev.Node] == nil {
+			a.startMigration(ev)
+		}
+		// Insufficient lead: M2 has no fallback; the failure will strike.
+	case a.cfg.Model.usesSafeguard():
+		a.safeguard(p)
+	}
+}
+
+// startMigration begins a live migration. The application keeps running;
+// completion is a scheduled callback. Lead ≥ θ guarantees completion
+// before the failure unless a p-ckpt episode aborts the migration first.
+func (a *appSim) startMigration(ev failure.Event) {
+	m := &migration{ev: ev}
+	a.migrations[ev.Node] = m
+	a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.theta))
+	a.cl.MarkMigrating(ev.Node)
+	a.env.At(a.theta, func() {
+		if m.aborted {
+			return
+		}
+		delete(a.migrations, ev.Node)
+		a.res.Migrations++
+		a.trace(trace.MigrationDone, ev.Node, "")
+		// The application dilates slightly while migrating.
+		a.res.Overheads.Checkpoint += a.cfg.LM.DilationSeconds(a.perNode)
+		if a.cl.Node(ev.Node).State == cluster.Migrating {
+			a.cl.MarkHealthy(ev.Node)
+		}
+		if ev.Kind == failure.KindPrediction {
+			a.avoided[ev.ID] = true
+			a.res.Avoided++
+			delete(a.predicted, ev.ID)
+		}
+	})
+}
+
+// abortMigrations cancels every in-flight migration (a p-ckpt request
+// supersedes them per the Fig. 5 state diagram) and enqueues their nodes
+// into the episode's priority queue.
+func (a *appSim) abortMigrations() {
+	for node, m := range a.migrations {
+		m.aborted = true
+		delete(a.migrations, node)
+		a.res.AbortedMigrations++
+		a.trace(trace.MigrationAborted, node, "superseded by p-ckpt")
+		if a.cl.Node(node).State == cluster.Migrating {
+			a.cl.MarkVulnerable(node, m.ev.FailTime)
+		}
+		if a.episode != nil {
+			a.episode.q.Push(m.ev.FailTime, m.ev)
+		}
+	}
+}
+
+// pckptEpisode runs one coordinated prioritized checkpoint: phase 1
+// serves vulnerable nodes serially by lead-time priority with uncontended
+// PFS access; phase 2 commits the remaining nodes at aggregate bandwidth.
+// The application is blocked throughout (healthy nodes wait). A failure
+// during the episode abandons the remainder.
+func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
+	a.res.ProactiveCkpts++
+	a.trace(trace.EpisodeStart, first.Node, "")
+	epBegin := a.env.Now()
+	ep := &episodeState{startProgress: a.progress}
+	a.episode = ep
+	defer func() { a.episode = nil }()
+	ep.q.Push(first.FailTime, first)
+	a.abortMigrations()
+	for ep.q.Len() > 0 && !ep.abandoned {
+		_, ev := ep.q.Pop()
+		if !a.blockedWait(p, a.singleWrite, &a.res.Overheads.Checkpoint) {
+			break
+		}
+		ep.committed++
+		a.trace(trace.VulnerableCommit, ev.Node, "")
+		a.cl.RecordPFSCheckpoint(ev.Node, ep.startProgress)
+		if a.cl.Node(ev.Node).State == cluster.Vulnerable {
+			a.cl.MarkHealthy(ev.Node)
+		}
+		if ev.Kind == failure.KindPrediction && a.env.Now() <= ev.FailTime {
+			// The vulnerable node's state reached the PFS before its
+			// failure: the failure is mitigated.
+			a.mitigatedAt[ev.ID] = ep.startProgress
+		}
+	}
+	if ep.abandoned {
+		return
+	}
+	// Phase 2: pfs-commit broadcast; healthy nodes write together.
+	healthy := a.nodes - ep.committed
+	if healthy > 0 {
+		if !a.blockedWait(p, a.io.PFSWriteTime(healthy, a.perNode), &a.res.Overheads.Checkpoint) {
+			return
+		}
+	}
+	a.commitFullPFS(ep.startProgress)
+	a.rescheduled = true
+	a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.env.Now()-epBegin, ep.committed))
+}
+
+// safeguard runs M1's just-in-time checkpoint: every node writes to the
+// PFS synchronously, racing the predicted failure.
+func (a *appSim) safeguard(p *sim.Proc) {
+	if a.safeguarding {
+		return // the in-flight safeguard covers this prediction too
+	}
+	a.safeguarding = true
+	defer func() { a.safeguarding = false }()
+	a.res.ProactiveCkpts++
+	a.trace(trace.SafeguardStart, -1, "")
+	startProgress := a.progress
+	if !a.blockedWait(p, a.fullWrite, &a.res.Overheads.Checkpoint) {
+		return // the failure won the race (or rolled us back)
+	}
+	a.commitFullPFS(startProgress)
+	a.rescheduled = true
+	a.trace(trace.SafeguardEnd, -1, "")
+	now := a.env.Now()
+	for id, pi := range a.predicted {
+		if pi.failAt >= now {
+			// The safeguard committed everyone's state before this
+			// pending failure: mitigated.
+			a.mitigatedAt[id] = startProgress
+		}
+	}
+}
+
+// commitFullPFS records a full-application checkpoint at progress q as
+// resident on the PFS.
+func (a *appSim) commitFullPFS(q float64) {
+	if q > a.pfsProgress {
+		a.pfsProgress = q
+		a.cl.RecordPFSCheckpointAll(q)
+	}
+}
+
+// onFailure handles a failure striking node ev.Node: classify it
+// (mitigated by a proactive checkpoint, or unhandled), roll progress
+// back, perform recovery, replace the node.
+func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
+	a.res.Failures++
+	if ev.Lead > 0 {
+		a.res.Predicted++
+	}
+	delete(a.predicted, ev.ID)
+	if m := a.migrations[ev.Node]; m != nil {
+		// The node died mid-migration (only possible for a second,
+		// unpredicted failure, or an under-lead race): the migration is
+		// void.
+		m.aborted = true
+		delete(a.migrations, ev.Node)
+		a.res.AbortedMigrations++
+	}
+	if a.episode != nil {
+		a.episode.abandoned = true
+	}
+	a.failEpoch++
+	a.cl.Fail(ev.Node)
+
+	mitQ, mitigated := a.mitigatedAt[ev.ID]
+	if mitigated {
+		delete(a.mitigatedAt, ev.ID)
+		a.res.Mitigated++
+	}
+	// Best restart point: the proactive commit that mitigated this
+	// failure, or the newest consistent periodic checkpoint — whichever
+	// is fresher.
+	q := a.cl.RecoverableProgress(ev.Node)
+	recovery := a.recoveryBB
+	if mitigated && mitQ >= q {
+		q = mitQ
+		// Recovering from a proactive checkpoint pulls every node's
+		// state from the PFS (Sec. II), which is what makes recovery
+		// visible in P1's overhead breakdown.
+		recovery = a.recoveryPFS
+	}
+	if q < 0 {
+		q = 0 // no checkpoint yet: restart from the beginning
+	}
+	loss := 0.0
+	if a.progress > q {
+		loss = a.progress - q
+		a.res.Recompute += loss
+		a.progress = q
+	}
+	outcome := "unhandled"
+	if mitigated {
+		outcome = "mitigated"
+	}
+	a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
+	if err := a.cl.Replace(ev.Node); err != nil {
+		panic(fmt.Sprintf("crmodel: %v", err))
+	}
+	// Recovery: restart as many times as failures force us to.
+	for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
+	}
+	a.trace(trace.RecoveryDone, ev.Node, "")
+}
+
+// inject is the injector process: it delivers the event stream to the
+// application, skipping failures avoided by completed migrations.
+func (a *appSim) inject(p *sim.Proc) {
+	for {
+		ev := a.stream.Next()
+		if !a.app.Alive() {
+			return
+		}
+		if dt := ev.Time - a.env.Now(); dt > 0 {
+			if err := p.Wait(dt); err != nil {
+				panic(fmt.Sprintf("crmodel: injector interrupted: %v", err))
+			}
+		}
+		if !a.app.Alive() {
+			return
+		}
+		switch ev.Kind {
+		case failure.KindFailure:
+			if a.avoided[ev.ID] {
+				delete(a.avoided, ev.ID)
+				continue // live migration emptied the node in time
+			}
+			a.est.Observe()
+		default:
+			if !a.cfg.Model.usesPrediction() {
+				continue // model B ignores the predictor entirely
+			}
+		}
+		a.pending = append(a.pending, ev)
+		a.app.Interrupt("failure-stream")
+	}
+}

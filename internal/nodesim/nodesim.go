@@ -1,0 +1,705 @@
+// Package nodesim runs the p-ckpt C/R system at node granularity: every
+// compute node is its own simulated process, coordinated bulk-synchronously
+// (the paper mandates coordinated checkpoints), with the p-ckpt protocol's
+// prioritized PFS lane realised as an actual priority resource that
+// vulnerable-node processes acquire in lead-time order.
+//
+// The paper's own evaluation is application-level (its Sec. VII notes a
+// complete implementation of the whole system is out of scope); this
+// package is that missing tier for simulation purposes, and a
+// cross-validation test checks that its aggregate accounting agrees with
+// the application-level model in internal/crmodel on matched
+// configurations — the two tiers consume identical failure streams and
+// must tell the same story.
+//
+// Structure: a coordinator process drives phases (compute → BB write →
+// async drain; p-ckpt episodes and recoveries on demand) by issuing
+// commands to node processes and awaiting their reports; the failure
+// injector interrupts only the coordinator. Node processes execute timed
+// work and can be aborted mid-phase when a failure voids it.
+package nodesim
+
+import (
+	"fmt"
+	"math"
+
+	"pckpt/internal/failure"
+	"pckpt/internal/iomodel"
+	"pckpt/internal/lm"
+	"pckpt/internal/oci"
+	"pckpt/internal/rng"
+	"pckpt/internal/sim"
+	"pckpt/internal/stats"
+	"pckpt/internal/workload"
+)
+
+// Policy selects the proactive strategy (a subset of the crmodel
+// catalogue: the node-granular tier exists for the paper's contribution,
+// not for re-running every baseline).
+type Policy uint8
+
+const (
+	// PolicyBase: periodic checkpointing only.
+	PolicyBase Policy = iota
+	// PolicyPckpt: coordinated prioritized checkpointing (model P1).
+	PolicyPckpt
+	// PolicyHybrid: LM preferred, p-ckpt fallback (model P2).
+	PolicyHybrid
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBase:
+		return "base"
+	case PolicyPckpt:
+		return "p-ckpt"
+	case PolicyHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Config parameterises a node-granular run. Zero-valued optional fields
+// default exactly like crmodel.Config so the two tiers stay comparable.
+type Config struct {
+	Policy Policy
+	App    workload.App
+	System failure.System
+	IO     *iomodel.Model
+	LM     lm.Config
+	Leads  *failure.LeadTimeModel
+	// LeadScale stretches lead times (1.0 if zero).
+	LeadScale float64
+	// FNRate / FPRate configure the predictor (zero selects defaults).
+	FNRate, FPRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.IO == nil {
+		c.IO = iomodel.New(iomodel.DefaultSummit())
+	}
+	if c.LM == (lm.Config{}) {
+		c.LM = lm.Default()
+	}
+	if c.Leads == nil {
+		c.Leads = failure.DefaultLeadTimes()
+	}
+	if c.LeadScale == 0 {
+		c.LeadScale = 1
+	}
+	if c.FNRate == 0 {
+		c.FNRate = failure.DefaultFNRate
+	}
+	if c.FPRate == 0 {
+		c.FPRate = failure.DefaultFPRate
+	}
+	return c
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.App.Validate(); err != nil {
+		return err
+	}
+	if err := c.System.Validate(); err != nil {
+		return err
+	}
+	if err := c.LM.Validate(); err != nil {
+		return err
+	}
+	if c.Policy > PolicyHybrid {
+		return fmt.Errorf("nodesim: invalid policy %d", c.Policy)
+	}
+	return nil
+}
+
+// sigma mirrors crmodel.Config.Sigma: Eq. (2)'s σ at the baseline recall
+// (accuracy-blind, per the paper).
+func (c Config) sigma() float64 {
+	if c.Policy != PolicyHybrid {
+		return 0
+	}
+	leads := c.Leads
+	if c.LeadScale != 1 {
+		leads = leads.Scaled(c.LeadScale)
+	}
+	return leads.Sigma(c.LM.Theta(c.App.PerNodeGB()), failure.DefaultFNRate)
+}
+
+// command kinds issued by the coordinator.
+type cmdKind uint8
+
+const (
+	cmdCompute cmdKind = iota
+	cmdBBWrite
+	cmdVulnWrite
+	cmdBulkWrite
+	cmdRecover
+	cmdExit
+)
+
+type command struct {
+	kind cmdKind
+	// dur is the work duration for timed commands; vulnWrite derives its
+	// own duration and uses deadline for lane priority.
+	dur      float64
+	deadline float64
+	// ev ties a vulnWrite back to the prediction that caused it.
+	ev failure.Event
+}
+
+// node is one compute node's process-side state.
+type node struct {
+	id   int
+	proc *sim.Proc
+	// cmd is the pending command; ready fires when one is posted.
+	cmd   command
+	ready *sim.Event
+	busy  bool
+}
+
+// cluster is the shared state, mutated lock-step.
+type cluster struct {
+	cfg   Config
+	env   *sim.Env
+	io    *iomodel.Model
+	nodes []*node
+	coord *sim.Proc
+	est   *failure.RateEstimator
+
+	// Platform constants.
+	total, perNode, tBB, drainDur, theta, sigmaV float64
+	singleWrite, recoveryBB, recoveryPFS         float64
+
+	// Progress and checkpoint placement (BSP: one global progress).
+	progress, bbProgress, pfsProgress float64
+	drainGen                          int
+
+	// Lane is the prioritized PFS path of phase 1.
+	lane *sim.Resource
+
+	// Coordinator bookkeeping.
+	outstanding int
+	allDone     *sim.Event
+	pending     []failure.Event
+	failEpoch   int
+	// computing/computeStart bank partial compute progress: pausing
+	// handlers (episodes, failures) call bankCompute so rollbacks and
+	// pauses never miscount computation.
+	computing    bool
+	computeStart float64
+	// pausedInPhase accumulates handler pauses inside the current
+	// coordinator phase, so the BB phase can compute its true remaining
+	// write time after an episode interleaved with it.
+	pausedInPhase float64
+	// rescheduled mirrors crmodel: a successful proactive full-PFS commit
+	// re-bases the periodic checkpoint schedule (the paper's adaptive
+	// checkpointing).
+	rescheduled bool
+
+	predicted   map[int64]float64 // failure ID → failAt
+	mitigatedAt map[int64]float64
+	avoided     map[int64]bool
+	migrations  map[int]*migration
+	episode     *episodeState
+
+	res stats.RunResult
+}
+
+type migration struct {
+	ev      failure.Event
+	aborted bool
+}
+
+type episodeState struct {
+	startProgress float64
+	committed     int
+	abandoned     bool
+}
+
+// Simulate executes one node-granular run. Deterministic in (cfg, seed);
+// with the same seed it consumes the identical failure stream as
+// crmodel.Simulate on the matching configuration.
+func Simulate(cfg Config, seed uint64) stats.RunResult {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	env := sim.NewEnv()
+	c := &cluster{
+		cfg:         cfg,
+		env:         env,
+		io:          cfg.IO,
+		est:         failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
+		total:       cfg.App.ComputeSeconds(),
+		perNode:     cfg.App.PerNodeGB(),
+		bbProgress:  -1,
+		pfsProgress: -1,
+		lane:        sim.NewResource(env, 1),
+		predicted:   make(map[int64]float64),
+		mitigatedAt: make(map[int64]float64),
+		avoided:     make(map[int64]bool),
+		migrations:  make(map[int]*migration),
+	}
+	c.tBB = c.io.BBWriteTime(c.perNode)
+	c.drainDur = c.io.DrainTime(cfg.App.Nodes, c.perNode)
+	c.theta = cfg.LM.Theta(c.perNode)
+	c.sigmaV = cfg.sigma()
+	c.singleWrite = c.io.SingleNodePFSWriteTime(c.perNode)
+	c.recoveryBB = math.Max(c.io.BBReadTime(c.perNode), c.io.SingleNodePFSReadTime(c.perNode))
+	c.recoveryPFS = c.io.PFSReadTime(cfg.App.Nodes, c.perNode)
+
+	src := rng.New(seed)
+	stream := failure.NewStream(failure.Config{
+		System:    cfg.System,
+		JobNodes:  cfg.App.Nodes,
+		Leads:     cfg.Leads,
+		LeadScale: cfg.LeadScale,
+		FNRate:    cfg.FNRate,
+		FPRate:    cfg.FPRate,
+	}, src.Split(1))
+
+	for i := 0; i < cfg.App.Nodes; i++ {
+		n := &node{id: i, ready: sim.NewEvent(env)}
+		c.nodes = append(c.nodes, n)
+		n.proc = env.Spawn(fmt.Sprintf("node-%d", i), func(p *sim.Proc) { c.nodeLoop(p, n) })
+	}
+	c.coord = env.Spawn("coordinator", c.coordinate)
+	env.Spawn("injector", func(p *sim.Proc) { c.inject(p, stream) })
+	env.RunAll()
+	return c.res
+}
+
+// nodeLoop executes commands until told to exit.
+func (c *cluster) nodeLoop(p *sim.Proc, n *node) {
+	for {
+		for !n.busy {
+			ev := n.ready
+			if err := p.WaitEvent(ev); err != nil {
+				panic(fmt.Sprintf("nodesim: idle node interrupted: %v", err))
+			}
+		}
+		cmd := n.cmd
+		switch cmd.kind {
+		case cmdExit:
+			n.busy = false
+			return
+		case cmdVulnWrite:
+			c.vulnWrite(p, n, cmd)
+		default:
+			// Timed work, abortable: an interrupt means the coordinator
+			// voided the phase.
+			if cmd.dur > 0 {
+				p.Wait(cmd.dur)
+			}
+		}
+		c.report(n)
+	}
+}
+
+// vulnWrite is the phase-1 prioritized commit: acquire the PFS lane in
+// lead-time order, write uncontended, record mitigation.
+func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
+	if err := c.lane.Acquire(p, cmd.deadline); err != nil {
+		return // episode abandoned while queued
+	}
+	err := p.Wait(c.singleWrite)
+	c.lane.Release()
+	if err != nil {
+		return // aborted mid-write
+	}
+	if c.episode != nil {
+		c.episode.committed++
+	}
+	if cmd.ev.Kind == failure.KindPrediction && c.env.Now() <= cmd.ev.FailTime {
+		startProgress := c.progress
+		if c.episode != nil {
+			startProgress = c.episode.startProgress
+		}
+		c.mitigatedAt[cmd.ev.ID] = startProgress
+	}
+}
+
+// post issues a command to a node and counts it outstanding.
+func (c *cluster) post(n *node, cmd command) {
+	if n.busy {
+		panic(fmt.Sprintf("nodesim: node %d already busy", n.id))
+	}
+	n.cmd = cmd
+	n.busy = true
+	c.outstanding++
+	ev := n.ready
+	n.ready = sim.NewEvent(c.env)
+	ev.Trigger()
+}
+
+// report marks a node's command finished and wakes the coordinator when
+// the phase drains.
+func (c *cluster) report(n *node) {
+	n.busy = false
+	c.outstanding--
+	if c.outstanding == 0 && c.allDone != nil {
+		c.allDone.Trigger()
+		c.allDone = nil
+	}
+}
+
+// abortBusy interrupts every node still executing a command.
+func (c *cluster) abortBusy() {
+	for _, n := range c.nodes {
+		if n.busy {
+			n.proc.Interrupt("phase aborted")
+		}
+	}
+}
+
+// awaitPhase blocks the coordinator until every outstanding command has
+// reported, handling injected events as they arrive. It returns false if
+// a failure voided the phase (the caller decides what that means).
+func (c *cluster) awaitPhase(p *sim.Proc) bool {
+	epoch := c.failEpoch
+	for c.outstanding > 0 {
+		c.allDone = sim.NewEvent(c.env)
+		if err := p.WaitEvent(c.allDone); err != nil {
+			c.allDone = nil
+			c.handleEvents(p)
+			if c.failEpoch != epoch {
+				return false
+			}
+		}
+	}
+	return c.failEpoch == epoch
+}
+
+// coordinate is the coordinator process: the BSP main loop.
+func (c *cluster) coordinate(p *sim.Proc) {
+	for c.progress < c.total {
+		c.computePhase(p)
+		if c.progress >= c.total {
+			break
+		}
+		c.bbPhase(p)
+	}
+	c.res.WallSeconds = c.env.Now()
+	for _, n := range c.nodes {
+		c.post(n, command{kind: cmdExit})
+	}
+}
+
+// computePhase advances all nodes by one checkpoint interval. Progress
+// accounting runs through bankCompute: the segment in flight is banked
+// either here (normal completion) or by a pausing handler (episode,
+// failure) before it mutates progress.
+func (c *cluster) computePhase(p *sim.Proc) {
+	rate := c.est.Rate(c.env.Now())
+	interval := oci.FromJobRate(c.tBB, rate, c.sigmaV)
+	target := math.Min(c.progress+interval, c.total)
+	// The banked float sums can stall a hair short of the target while
+	// simulated time can no longer resolve the residual; treat anything
+	// below a microsecond as done and snap.
+	for target-c.progress > 1e-6 {
+		c.computing = true
+		c.computeStart = c.env.Now()
+		c.pausedInPhase = 0
+		for _, n := range c.nodes {
+			if !n.busy {
+				c.post(n, command{kind: cmdCompute, dur: target - c.progress})
+			}
+		}
+		c.awaitPhase(p)
+		c.bankCompute()
+		if c.rescheduled {
+			// A proactive action committed a full checkpoint: re-base the
+			// periodic schedule on a fresh interval from here.
+			c.rescheduled = false
+			rate = c.est.Rate(c.env.Now())
+			interval = oci.FromJobRate(c.tBB, rate, c.sigmaV)
+			target = math.Min(c.progress+interval, c.total)
+		}
+	}
+	c.progress = target
+}
+
+// bbPhase stages the periodic checkpoint on every burst buffer. Episodes
+// interleaving with the write pause it; the remaining write time resumes
+// afterwards (handler pauses are excluded via pausedInPhase). A failure
+// voids the write entirely.
+func (c *cluster) bbPhase(p *sim.Proc) {
+	remaining := c.tBB
+	for remaining > 1e-9 {
+		start := c.env.Now()
+		c.pausedInPhase = 0
+		for _, n := range c.nodes {
+			if !n.busy {
+				c.post(n, command{kind: cmdBBWrite, dur: remaining})
+			}
+		}
+		ok := c.awaitPhase(p)
+		worked := (c.env.Now() - start) - c.pausedInPhase
+		c.res.Overheads.Checkpoint += worked
+		if !ok {
+			return // failure voided the write; partial time stays charged
+		}
+		remaining -= worked
+	}
+	c.res.Checkpoints++
+	c.bbProgress = c.progress
+	c.drainGen++
+	gen := c.drainGen
+	captured := c.progress
+	c.env.At(c.drainDur, func() {
+		if gen == c.drainGen && captured > c.pfsProgress {
+			c.pfsProgress = captured
+		}
+	})
+}
+
+// handleEvents drains injected events (the coordinator holds the token).
+func (c *cluster) handleEvents(p *sim.Proc) {
+	for len(c.pending) > 0 {
+		ev := c.pending[0]
+		c.pending = c.pending[1:]
+		switch ev.Kind {
+		case failure.KindPrediction, failure.KindSpurious:
+			c.onPrediction(p, ev)
+		case failure.KindFailure:
+			c.onFailure(p, ev)
+		}
+	}
+}
+
+// onPrediction applies the policy.
+func (c *cluster) onPrediction(p *sim.Proc, ev failure.Event) {
+	if ev.Kind == failure.KindPrediction {
+		c.predicted[ev.ID] = ev.FailTime
+	}
+	switch c.cfg.Policy {
+	case PolicyBase:
+		return
+	case PolicyHybrid:
+		if c.episode == nil && ev.Lead >= c.theta && c.migrations[ev.Node] == nil {
+			c.startMigration(ev)
+			return
+		}
+		fallthrough
+	case PolicyPckpt:
+		if c.episode != nil {
+			if n := c.nodes[ev.Node]; !c.episode.abandoned && !n.busy {
+				// Joins phase 1: the node heads straight for the lane.
+				c.post(n, command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
+			}
+			return
+		}
+		c.runEpisode(p, ev)
+	}
+}
+
+// startMigration begins a background live migration.
+func (c *cluster) startMigration(ev failure.Event) {
+	m := &migration{ev: ev}
+	c.migrations[ev.Node] = m
+	c.env.At(c.theta, func() {
+		if m.aborted {
+			return
+		}
+		delete(c.migrations, ev.Node)
+		c.res.Migrations++
+		c.res.Overheads.Checkpoint += c.cfg.LM.DilationSeconds(c.perNode)
+		if ev.Kind == failure.KindPrediction {
+			c.avoided[ev.ID] = true
+			c.res.Avoided++
+			delete(c.predicted, ev.ID)
+		}
+	})
+}
+
+// runEpisode executes a p-ckpt episode at node granularity: the
+// vulnerable nodes race to the priority lane while every other node
+// waits; then the healthy nodes bulk-commit.
+//
+// The coordinator reaches here from inside awaitPhase of a voided outer
+// phase — the outer phase's nodes were NOT aborted, so first abort them
+// (healthy nodes enter the waiting state, per the protocol).
+func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
+	c.res.ProactiveCkpts++
+	// Pause the world: bank the compute in flight, then abort whatever
+	// the nodes were doing. Their reports drain into the current
+	// outstanding count, which the episode waits out.
+	c.bankCompute()
+	c.abortBusy()
+	ep := &episodeState{startProgress: c.progress}
+	c.episode = ep
+	defer func() { c.episode = nil }()
+	// Abort in-flight migrations; their nodes join phase 1 (Fig. 5).
+	epochStart := c.failEpoch
+	pendingVuln := []failure.Event{first}
+	for nodeID, m := range c.migrations {
+		m.aborted = true
+		delete(c.migrations, nodeID)
+		c.res.AbortedMigrations++
+		pendingVuln = append(pendingVuln, m.ev)
+	}
+	start := c.env.Now()
+	pausedBefore := c.pausedInPhase
+	// selfSpan charges the episode's own blocked time, excluding nested
+	// handler pauses (a recovery inside the episode charges Recovery).
+	charge := func() {
+		nested := c.pausedInPhase - pausedBefore
+		selfSpan := (c.env.Now() - start) - nested
+		c.res.Overheads.Checkpoint += selfSpan
+		c.pausedInPhase = pausedBefore + nested + selfSpan
+	}
+	// Wait for the aborted outer phase to drain before reusing nodes.
+	if !c.awaitPhase(p) {
+		charge()
+		return // a failure landed even before phase 1 began
+	}
+	for _, ev := range pendingVuln {
+		if c.nodes[ev.Node].busy {
+			continue // already queued via a duplicate prediction
+		}
+		c.post(c.nodes[ev.Node], command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
+	}
+	if !c.awaitPhase(p) || ep.abandoned {
+		charge()
+		return
+	}
+	// Phase 2: pfs-commit broadcast; every remaining node writes.
+	healthy := len(c.nodes) - ep.committed
+	if healthy > 0 {
+		dur := c.io.PFSWriteTime(healthy, c.perNode)
+		for _, n := range c.nodes {
+			if !n.busy {
+				c.post(n, command{kind: cmdBulkWrite, dur: dur})
+			}
+		}
+		if !c.awaitPhase(p) {
+			charge()
+			return
+		}
+	}
+	charge()
+	if c.failEpoch == epochStart {
+		if ep.startProgress > c.pfsProgress {
+			c.pfsProgress = ep.startProgress
+		}
+		c.rescheduled = true
+	}
+}
+
+// onFailure handles a node failure: void the current phase, roll back,
+// run the recovery phase, replace the node (implicitly — the rank keeps
+// its process).
+func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
+	c.res.Failures++
+	if ev.Lead > 0 {
+		c.res.Predicted++
+	}
+	delete(c.predicted, ev.ID)
+	if m := c.migrations[ev.Node]; m != nil {
+		m.aborted = true
+		delete(c.migrations, ev.Node)
+		c.res.AbortedMigrations++
+	}
+	if c.episode != nil {
+		c.episode.abandoned = true
+	}
+	c.failEpoch++
+	c.bankCompute()
+	c.abortBusy()
+
+	mitQ, mitigated := c.mitigatedAt[ev.ID]
+	if mitigated {
+		delete(c.mitigatedAt, ev.ID)
+		c.res.Mitigated++
+	}
+	q := math.Max(c.bbProgress, c.pfsProgress)
+	if c.bbProgress > c.pfsProgress {
+		// The failed node's BB died with it: if the newest coordinated
+		// checkpoint has not finished draining, the consistent restart
+		// point is the older PFS-resident one (Fig. 1 case B).
+		q = c.pfsProgress
+	}
+	recovery := c.recoveryBB
+	if mitigated && mitQ >= q {
+		q = mitQ
+		recovery = c.recoveryPFS
+	}
+	if q < 0 {
+		q = 0
+	}
+	if c.progress > q {
+		c.res.Recompute += c.progress - q
+		c.progress = q
+	}
+	// Drain the aborted phase, then run recovery on every node: the
+	// replacement reads the PFS, the healthy ranks their burst buffers —
+	// modeled as one phase of the longer duration (they run in parallel).
+	pauseStart := c.env.Now()
+	pausedBefore := c.pausedInPhase
+	for !c.awaitPhase(p) {
+	}
+	start := c.env.Now()
+	post := func() {
+		for _, n := range c.nodes {
+			if !n.busy {
+				c.post(n, command{kind: cmdRecover, dur: recovery})
+			}
+		}
+	}
+	post()
+	for !c.awaitPhase(p) {
+		// Another failure during recovery: the nested handler recovered
+		// already; redo this one's restore on whatever is idle.
+		start = c.env.Now()
+		post()
+	}
+	c.res.Overheads.Recovery += c.env.Now() - start
+	nested := c.pausedInPhase - pausedBefore
+	c.pausedInPhase = pausedBefore + nested + ((c.env.Now() - pauseStart) - nested)
+}
+
+// bankCompute folds the in-flight compute segment into progress; pausing
+// handlers call it before they stop the world.
+func (c *cluster) bankCompute() {
+	if !c.computing {
+		return
+	}
+	c.progress += c.env.Now() - c.computeStart
+	c.computing = false
+}
+
+// inject delivers the failure stream to the coordinator.
+func (c *cluster) inject(p *sim.Proc, stream *failure.Stream) {
+	for {
+		ev := stream.Next()
+		if !c.coord.Alive() {
+			return
+		}
+		if dt := ev.Time - c.env.Now(); dt > 0 {
+			if err := p.Wait(dt); err != nil {
+				panic(fmt.Sprintf("nodesim: injector interrupted: %v", err))
+			}
+		}
+		if !c.coord.Alive() {
+			return
+		}
+		switch ev.Kind {
+		case failure.KindFailure:
+			if c.avoided[ev.ID] {
+				delete(c.avoided, ev.ID)
+				continue
+			}
+			c.est.Observe()
+		default:
+			if c.cfg.Policy == PolicyBase {
+				continue
+			}
+		}
+		c.pending = append(c.pending, ev)
+		c.coord.Interrupt("failure-stream")
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+// Event is a broadcast condition, the synchronization primitive behind the
+// p-ckpt protocol notifications (the p-ckpt request and the pfs-commit
+// broadcast of Sec. VI). Processes block on it with Proc.WaitEvent; a
+// single Trigger wakes every waiter. Once triggered, later WaitEvent calls
+// return immediately until Reset.
+type Event struct {
+	env       *Env
+	triggered bool
+	waiters   []*Proc
+}
+
+// NewEvent returns an untriggered event bound to env.
+func NewEvent(env *Env) *Event {
+	return &Event{env: env}
+}
+
+// Triggered reports whether the event has fired and not been Reset.
+func (e *Event) Triggered() bool { return e.triggered }
+
+// Waiters returns the number of processes currently blocked on the event.
+func (e *Event) Waiters() int { return len(e.waiters) }
+
+// Trigger fires the event: every waiting process is scheduled to resume at
+// the current simulation time, and the event latches so subsequent waits
+// return immediately. Triggering an already-triggered event is a no-op.
+func (e *Event) Trigger() {
+	if e.triggered {
+		return
+	}
+	e.triggered = true
+	for _, p := range e.waiters {
+		wake := &item{kind: itemWake, proc: p}
+		e.env.schedule(e.env.now, wake)
+		// Hand the wake over to the process so a racing Interrupt at the
+		// same timestamp can cancel it and take precedence.
+		p.pendingWake = wake
+		p.waitingOn = nil
+	}
+	e.waiters = nil
+}
+
+// Reset re-arms a triggered event so it can be waited on and triggered
+// again. It panics if processes are still queued (they would be stranded).
+func (e *Event) Reset() {
+	if len(e.waiters) != 0 {
+		panic("sim: Reset on event with waiters")
+	}
+	e.triggered = false
+}
+
+// removeWaiter drops p from the waiter list (used by Interrupt).
+func (e *Event) removeWaiter(p *Proc) {
+	for i, w := range e.waiters {
+		if w == p {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "fmt"
+
+// Interrupt is the error delivered to a process whose blocking operation
+// was cut short by Proc.Interrupt. Reason carries caller context (for the
+// C/R models: the injected failure or the superseding prediction).
+type Interrupt struct {
+	Reason any
+}
+
+// Error implements the error interface.
+func (i *Interrupt) Error() string {
+	return fmt.Sprintf("sim: interrupted (%v)", i.Reason)
+}
+
+type procState uint8
+
+const (
+	stateCreated procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulation process. All of its methods except Interrupt,
+// Alive, and Name must be called from the process's own goroutine (they
+// block the caller in simulated time); Interrupt is called by whichever
+// goroutine currently holds the execution token.
+type Proc struct {
+	env    *Env
+	name   string
+	id     uint64
+	fn     func(p *Proc)
+	resume chan *Interrupt
+	state  procState
+	// pendingWake is the heap item that will resume this process, when it
+	// is blocked in Wait. Interrupt cancels it.
+	pendingWake *item
+	// waitingOn is the event this process is queued on, when blocked in
+	// WaitEvent. Interrupt removes the process from its waiter list.
+	waitingOn *Event
+	// interruptPending guards against double delivery: a second Interrupt
+	// between the first one and the process actually resuming is dropped
+	// (the first reason wins, matching SimPy's behaviour).
+	interruptPending bool
+	done             *Event
+}
+
+// Name returns the diagnostic name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Alive reports whether the process has not yet finished.
+func (p *Proc) Alive() bool { return p.state != stateDone }
+
+// Done returns the completion event, triggered when the process function
+// returns. Other processes can WaitEvent on it to join.
+func (p *Proc) Done() *Event { return p.done }
+
+// run is the goroutine body: execute fn, then hand the token back.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.env.failed = true
+			p.env.failure = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+		}
+		p.state = stateDone
+		p.env.nprocs--
+		if !p.env.failed {
+			p.done.Trigger()
+		}
+		p.env.sched <- struct{}{}
+	}()
+	p.state = stateRunning
+	p.fn(p)
+}
+
+// park hands the token to the scheduler and blocks until resumed. It
+// returns the interrupt that caused the resume, or nil for a normal wake.
+func (p *Proc) park() *Interrupt {
+	p.state = stateBlocked
+	p.env.sched <- struct{}{}
+	iv := <-p.resume
+	p.state = stateRunning
+	p.interruptPending = false
+	p.pendingWake = nil
+	p.waitingOn = nil
+	return iv
+}
+
+// Wait blocks the process for d seconds of simulated time. It returns nil
+// on normal expiry, or the *Interrupt if another process interrupted the
+// wait (in which case less than d may have elapsed).
+func (p *Proc) Wait(d float64) error {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Wait with negative duration %g", d))
+	}
+	if p.env.current != p {
+		panic("sim: Wait called from outside the process goroutine")
+	}
+	wake := &item{kind: itemWake, proc: p}
+	p.env.schedule(p.env.now+d, wake)
+	p.pendingWake = wake
+	if iv := p.park(); iv != nil {
+		return iv
+	}
+	return nil
+}
+
+// WaitEvent blocks until ev is triggered. If ev was already triggered it
+// returns immediately. It returns the *Interrupt if interrupted first.
+func (p *Proc) WaitEvent(ev *Event) error {
+	if p.env.current != p {
+		panic("sim: WaitEvent called from outside the process goroutine")
+	}
+	if ev.triggered {
+		return nil
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.waitingOn = ev
+	if iv := p.park(); iv != nil {
+		return iv
+	}
+	return nil
+}
+
+// Join blocks until other has finished. Interruptible like WaitEvent.
+func (p *Proc) Join(other *Proc) error {
+	if !other.Alive() {
+		return nil
+	}
+	return p.WaitEvent(other.done)
+}
+
+// Interrupt delivers an interrupt to a blocked process: its current Wait
+// or WaitEvent returns an *Interrupt carrying reason. Interrupting a
+// finished process is a no-op and returns false. Interrupting a process
+// that is not currently blocked (created-but-not-started, or the caller
+// itself) panics, because the C/R models never need it and silently
+// queueing interrupts would hide bugs.
+func (p *Proc) Interrupt(reason any) bool {
+	switch p.state {
+	case stateDone:
+		return false
+	case stateBlocked:
+		if p.interruptPending {
+			return true
+		}
+		p.interruptPending = true
+		iv := &Interrupt{Reason: reason}
+		if p.pendingWake != nil {
+			p.pendingWake.cancelled = true
+			p.pendingWake = nil
+		}
+		if p.waitingOn != nil {
+			p.waitingOn.removeWaiter(p)
+			p.waitingOn = nil
+		}
+		p.env.schedule(p.env.now, &item{kind: itemWake, proc: p, interrupt: iv})
+		return true
+	default:
+		panic(fmt.Sprintf("sim: Interrupt on process %q in state %d", p.name, p.state))
+	}
+}

@@ -1,0 +1,171 @@
+// Package sim is a process-based discrete-event simulation engine with the
+// semantics the paper's SimPy framework relies on: processes that wait for
+// simulated time to pass, broadcast condition events, and asynchronous
+// interruption of a blocked process (used to inject failures into a
+// computing application and to abort an in-flight live migration when a
+// shorter-lead prediction arrives).
+//
+// Each process runs on its own goroutine, but execution is strictly
+// lock-step: exactly one goroutine — either the scheduler or the single
+// currently-running process — is active at any instant, handing control
+// back and forth over unbuffered channels. Simulation state therefore
+// needs no locking, and runs are deterministic: simultaneous events fire
+// in schedule order (the event heap breaks time ties by sequence number).
+//
+// Time is a float64 in seconds. There is no wall-clock component anywhere;
+// a run is a pure function of its inputs.
+package sim
+
+import (
+	"fmt"
+
+	"pckpt/internal/queue"
+)
+
+// Env is a simulation environment: a virtual clock plus the pending-event
+// heap. Create one with NewEnv, spawn processes, then call Run.
+type Env struct {
+	now     float64
+	events  queue.PQ[*item]
+	current *Proc
+	// sched is the handshake channel processes use to hand control back
+	// to the scheduler after parking or terminating.
+	sched chan struct{}
+	// failure carries a panic value out of a process goroutine so the
+	// scheduler can re-panic with it on the caller's stack.
+	failure  any
+	failed   bool
+	nprocs   int
+	nstarted uint64
+}
+
+type itemKind uint8
+
+const (
+	itemStart itemKind = iota // start a freshly spawned process
+	itemWake                  // resume a parked process
+	itemCall                  // run a callback while holding the token
+)
+
+// item is one heap entry. Cancelled items stay in the heap and are skipped
+// when popped; this makes timeout cancellation O(1).
+type item struct {
+	kind      itemKind
+	at        float64 // absolute fire time, mirrored from the heap key
+	proc      *Proc
+	fn        func()
+	cancelled bool
+	interrupt *Interrupt // non-nil when the wake is an interrupt delivery
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{sched: make(chan struct{})}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// ProcCount returns the number of live (spawned, not yet finished)
+// processes. Useful for leak assertions in tests.
+func (e *Env) ProcCount() int { return e.nprocs }
+
+// schedule pushes an item at the given absolute time.
+func (e *Env) schedule(at float64, it *item) *item {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (at=%g, now=%g)", at, e.now))
+	}
+	it.at = at
+	e.events.Push(at, it)
+	return it
+}
+
+// At runs fn at the given delay from now. fn executes while holding the
+// scheduler token, so it may inspect and mutate simulation state and may
+// spawn processes or trigger events, but must not block.
+func (e *Env) At(delay float64, fn func()) {
+	e.schedule(e.now+delay, &item{kind: itemCall, fn: fn})
+}
+
+// Spawn creates a process executing fn and schedules it to start at the
+// current simulation time (after already-scheduled events at this time).
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(0, name, fn)
+}
+
+// SpawnAt creates a process that starts after the given delay.
+func (e *Env) SpawnAt(delay float64, name string, fn func(p *Proc)) *Proc {
+	e.nstarted++
+	p := &Proc{
+		env:    e,
+		name:   name,
+		id:     e.nstarted,
+		fn:     fn,
+		resume: make(chan *Interrupt),
+		done:   NewEvent(e),
+	}
+	e.nprocs++
+	e.schedule(e.now+delay, &item{kind: itemStart, proc: p})
+	return p
+}
+
+// Run processes events until the heap is empty or the clock would pass
+// until (use RunAll for no horizon). It returns the final simulation time.
+// A panic inside any process is re-raised here.
+func (e *Env) Run(until float64) float64 {
+	for e.events.Len() > 0 {
+		at, it, _ := e.events.Peek()
+		if at > until {
+			break
+		}
+		e.events.Pop()
+		if it.cancelled {
+			continue
+		}
+		e.now = at
+		e.dispatch(it)
+		if e.failed {
+			panic(e.failure)
+		}
+	}
+	return e.now
+}
+
+// RunAll processes events until none remain.
+func (e *Env) RunAll() float64 {
+	for e.events.Len() > 0 {
+		_, it := e.events.Pop()
+		if it.cancelled {
+			continue
+		}
+		e.now = it.at
+		e.dispatch(it)
+		if e.failed {
+			panic(e.failure)
+		}
+	}
+	return e.now
+}
+
+func (e *Env) dispatch(it *item) {
+	switch it.kind {
+	case itemCall:
+		it.fn()
+	case itemStart:
+		p := it.proc
+		e.current = p
+		go p.run()
+		<-e.sched
+		e.current = nil
+	case itemWake:
+		p := it.proc
+		e.current = p
+		p.resume <- it.interrupt
+		<-e.sched
+		e.current = nil
+	}
+}
+
+// Current returns the process currently holding the execution token, or
+// nil when the scheduler itself (an At callback) is running.
+func (e *Env) Current() *Proc { return e.current }
