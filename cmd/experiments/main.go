@@ -5,29 +5,42 @@
 //	experiments -list
 //	experiments -run fig6a -runs 1000
 //	experiments -run all -runs 200 -apps CHIMERA,XGC,POP
+//	experiments -run fig6a -metrics -metrics-out fig6a-metrics.json
 //
 // Each experiment prints the same rows/series the paper reports; -values
 // appends the machine-readable headline numbers used by the test suite.
+// -metrics additionally meters every simulation run (checkpoint block
+// times, episode latencies, drain queue depth, effective PFS bandwidth,
+// lead-time consumption), prints the merged summary, and writes the JSON
+// snapshot. -cpuprofile/-memprofile capture pprof profiles of the whole
+// invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pckpt/internal/experiments"
+	"pckpt/internal/metrics"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment ID to run, or 'all'")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		runs    = flag.Int("runs", 200, "simulation runs per configuration (paper: 1000)")
-		seed    = flag.Uint64("seed", 42, "base RNG seed")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		apps    = flag.String("apps", "", "comma-separated application filter (default: experiment-specific)")
-		values  = flag.Bool("values", false, "also print machine-readable headline values")
+		run        = flag.String("run", "all", "experiment ID to run, or 'all'")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		runs       = flag.Int("runs", 200, "simulation runs per configuration (paper: 1000)")
+		seed       = flag.Uint64("seed", 42, "base RNG seed")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		apps       = flag.String("apps", "", "comma-separated application filter (default: experiment-specific)")
+		values     = flag.Bool("values", false, "also print machine-readable headline values")
+		meter      = flag.Bool("metrics", false, "meter simulation runs and print the merged metrics summary")
+		metricsOut = flag.String("metrics-out", "pckpt-metrics.json", "metrics snapshot JSON path (with -metrics)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,9 +51,23 @@ func main() {
 		return
 	}
 
-	p := experiments.Params{Runs: *runs, Seed: *seed, Workers: *workers}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memProfile)
+
+	p := experiments.Params{Runs: *runs, Seed: *seed, SeedSet: true, Workers: *workers}
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")
+	}
+	if *meter {
+		p.Metrics = metrics.NewCollector()
 	}
 
 	var defs []experiments.Def
@@ -49,10 +76,7 @@ func main() {
 	} else {
 		for _, id := range strings.Split(*run, ",") {
 			d, err := experiments.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
+			exitOn(err)
 			defs = append(defs, d)
 		}
 	}
@@ -63,5 +87,32 @@ func main() {
 		if *values {
 			fmt.Println(experiments.RenderResultValues(r))
 		}
+	}
+
+	if p.Metrics != nil {
+		snap := p.Metrics.Snapshot()
+		fmt.Printf("=== simulation metrics (all runs merged)\n\n%s\n", metrics.Render(snap))
+		exitOn(snap.WriteJSON(*metricsOut))
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+}
+
+// writeMemProfile dumps the post-GC heap; deferred so it sees the whole
+// invocation's live set.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	defer f.Close()
+	runtime.GC()
+	exitOn(pprof.WriteHeapProfile(f))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 }

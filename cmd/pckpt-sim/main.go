@@ -12,10 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
+	"pckpt/internal/metrics"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/trace"
@@ -35,8 +38,24 @@ func main() {
 		alpha     = flag.Float64("alpha", lm.DefaultAlpha, "LM transfer to checkpoint size ratio")
 		baseline  = flag.Bool("baseline", true, "also run model B and print reductions")
 		showTrace = flag.Bool("trace", false, "trace one run (the base seed) and print its timeline summary")
+
+		meter      = flag.Bool("metrics", false, "meter the runs and print the merged metrics summary")
+		metricsOut = flag.String("metrics-out", "pckpt-metrics.json", "metrics snapshot JSON path (with -metrics)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memProfile)
 
 	app, err := workload.ByName(*appName)
 	exitOn(err)
@@ -59,7 +78,13 @@ func main() {
 	fmt.Printf("%s on %s under %s (%d runs, seed %d)\n", model, app, sys.Name, *runs, *seed)
 	fmt.Printf("θ = %.2f s, σ = %.3f, per-node checkpoint = %.2f GB\n\n", cfg.Theta(), cfg.Sigma(), app.PerNodeGB())
 
-	agg := crmodel.SimulateN(cfg, *runs, *seed)
+	var snap *metrics.Snapshot
+	var agg *stats.Agg
+	if *meter {
+		agg, snap = crmodel.SimulateNMetered(cfg, *runs, *seed, runtime.GOMAXPROCS(0))
+	} else {
+		agg = crmodel.SimulateN(cfg, *runs, *seed)
+	}
 	mo := agg.MeanOverheads()
 
 	if *showTrace {
@@ -93,6 +118,25 @@ func main() {
 		fmt.Printf("vs base model B: checkpoint %s, recomputation %s, recovery %s, TOTAL %s\n",
 			tablefmt.Percent(ck), tablefmt.Percent(rc), tablefmt.Percent(rv), tablefmt.Percent(tot))
 	}
+
+	if snap != nil {
+		fmt.Printf("\nsimulation metrics (%d runs merged):\n\n%s", *runs, metrics.Render(snap))
+		exitOn(snap.WriteJSON(*metricsOut))
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+}
+
+// writeMemProfile dumps the post-GC heap; deferred so it sees the whole
+// invocation's live set.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	defer f.Close()
+	runtime.GC()
+	exitOn(pprof.WriteHeapProfile(f))
 }
 
 func exitOn(err error) {

@@ -59,11 +59,30 @@ type Node struct {
 	Replacements int
 }
 
+// Observer receives node state transitions as they happen, letting a
+// metrics layer track populations (vulnerable nodes, failed nodes) over
+// simulation time without the cluster knowing about clocks or metric
+// names. A nil observer costs one predictable branch per transition.
+type Observer func(id int, from, to State)
+
 // Cluster is the job's node set plus the spare pool.
 type Cluster struct {
-	nodes  []Node
-	spares int
-	used   int
+	nodes    []Node
+	spares   int
+	used     int
+	observer Observer
+}
+
+// SetObserver installs the state-transition observer (nil to remove).
+func (c *Cluster) SetObserver(o Observer) { c.observer = o }
+
+// setState applies a transition and notifies the observer on change.
+func (c *Cluster) setState(n *Node, to State) {
+	from := n.State
+	n.State = to
+	if c.observer != nil && from != to {
+		c.observer(n.ID, from, to)
+	}
 }
 
 // New builds a cluster of n job nodes backed by spares reserve nodes.
@@ -105,7 +124,7 @@ func (c *Cluster) MarkVulnerable(id int, failAt float64) error {
 	if n.State == Failed {
 		return fmt.Errorf("cluster: node %d is failed, cannot mark vulnerable", id)
 	}
-	n.State = Vulnerable
+	c.setState(n, Vulnerable)
 	n.PredictedFailAt = failAt
 	return nil
 }
@@ -116,7 +135,7 @@ func (c *Cluster) MarkMigrating(id int) error {
 	if n.State != Vulnerable {
 		return fmt.Errorf("cluster: node %d is %v, cannot start migration", id, n.State)
 	}
-	n.State = Migrating
+	c.setState(n, Migrating)
 	return nil
 }
 
@@ -127,7 +146,7 @@ func (c *Cluster) MarkHealthy(id int) {
 	if n.State == Failed {
 		panic(fmt.Sprintf("cluster: node %d is failed; use Replace", id))
 	}
-	n.State = Healthy
+	c.setState(n, Healthy)
 	n.PredictedFailAt = 0
 }
 
@@ -135,7 +154,7 @@ func (c *Cluster) MarkHealthy(id int) {
 // Replace is called.
 func (c *Cluster) Fail(id int) {
 	n := c.Node(id)
-	n.State = Failed
+	c.setState(n, Failed)
 	n.PredictedFailAt = 0
 	// The node's burst buffer dies with it: its staged checkpoint is
 	// gone. The PFS copy survives.
@@ -154,7 +173,7 @@ func (c *Cluster) Replace(id int) error {
 		return fmt.Errorf("cluster: spare pool exhausted replacing node %d", id)
 	}
 	c.used++
-	n.State = Healthy
+	c.setState(n, Healthy)
 	n.Replacements++
 	n.BBProgress = -1
 	return nil

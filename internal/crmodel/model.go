@@ -28,6 +28,7 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/lm"
+	"pckpt/internal/metrics"
 	"pckpt/internal/trace"
 	"pckpt/internal/workload"
 )
@@ -127,6 +128,14 @@ type Config struct {
 	// internal/trace). Leave nil for production sweeps: tracing a long
 	// run records one event per checkpoint cycle.
 	Trace trace.Recorder
+	// Metrics, when non-nil, receives the run's simulation-time metrics
+	// (see internal/metrics): checkpoint block times, episode latencies,
+	// drain queue depth, effective PFS bandwidth, lead-time consumption.
+	// Like Trace, nil costs nothing on the hot path. A Registry is
+	// single-run state — never share one across concurrent Simulate
+	// calls; SimulateNMetered gives every run its own and merges the
+	// snapshots.
+	Metrics *metrics.Registry
 }
 
 // withDefaults returns a copy with zero fields defaulted.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"pckpt/internal/metrics"
 	"pckpt/internal/stats"
 )
 
@@ -19,8 +20,26 @@ func SimulateN(cfg Config, n int, baseSeed uint64) *stats.Agg {
 // SimulateNWorkers is SimulateN with an explicit worker count (tests use
 // 1 for reproducible profiling, benchmarks sweep it).
 func SimulateNWorkers(cfg Config, n int, baseSeed uint64, workers int) *stats.Agg {
+	agg, _ := simulatePool(cfg, n, baseSeed, workers, false)
+	return agg
+}
+
+// SimulateNMetered is SimulateNWorkers with the metrics subsystem on:
+// every run records into its own private registry (no locks touch the
+// simulation hot path), the per-run snapshots are merged in seed order,
+// and the deterministic merged snapshot is returned alongside the
+// aggregate. Any registry already set on cfg.Metrics is ignored — sharing
+// one registry across concurrent runs would race.
+func SimulateNMetered(cfg Config, n int, baseSeed uint64, workers int) (*stats.Agg, *metrics.Snapshot) {
+	return simulatePool(cfg, n, baseSeed, workers, true)
+}
+
+// simulatePool is the shared worker-pool body. Runs execute concurrently;
+// results and snapshots land in per-run slots, so the only coordination
+// is the work channel and the final WaitGroup.
+func simulatePool(cfg Config, n int, baseSeed uint64, workers int, meter bool) (*stats.Agg, *metrics.Snapshot) {
 	if n <= 0 {
-		return &stats.Agg{}
+		return &stats.Agg{}, &metrics.Snapshot{}
 	}
 	if workers <= 0 {
 		workers = 1
@@ -32,7 +51,12 @@ func SimulateNWorkers(cfg Config, n int, baseSeed uint64, workers int) *stats.Ag
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	cfg.Metrics = nil // per-run registries only; a shared one would race
 	results := make([]stats.RunResult, n)
+	var snaps []*metrics.Snapshot
+	if meter {
+		snaps = make([]*metrics.Snapshot, n)
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -40,7 +64,14 @@ func SimulateNWorkers(cfg Config, n int, baseSeed uint64, workers int) *stats.Ag
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = Simulate(cfg, runSeed(baseSeed, i))
+				runCfg := cfg
+				if meter {
+					runCfg.Metrics = metrics.New()
+				}
+				results[i] = Simulate(runCfg, runSeed(baseSeed, i))
+				if meter {
+					snaps[i] = runCfg.Metrics.Snapshot(results[i].WallSeconds)
+				}
 			}
 		}()
 	}
@@ -53,7 +84,11 @@ func SimulateNWorkers(cfg Config, n int, baseSeed uint64, workers int) *stats.Ag
 	for _, r := range results {
 		agg.Add(r)
 	}
-	return agg
+	merged := &metrics.Snapshot{}
+	for _, s := range snaps {
+		merged.Merge(s)
+	}
+	return agg, merged
 }
 
 // runSeed derives the seed for run index i from the experiment's base

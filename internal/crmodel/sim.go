@@ -59,6 +59,10 @@ type appSim struct {
 	// rescheduled is raised when a proactive action committed a full
 	// checkpoint, so the compute loop re-bases its next periodic one.
 	rescheduled bool
+	// drainsInFlight counts scheduled BB→PFS drain completions not yet
+	// fired (superseded drains count until their callback runs) — the
+	// drain queue depth the metrics layer tracks over sim time.
+	drainsInFlight int
 
 	predicted    map[int64]predInfo // outstanding true predictions
 	mitigatedAt  map[int64]float64  // failure ID → PFS-recoverable progress
@@ -67,6 +71,7 @@ type appSim struct {
 	episode      *episodeState      // non-nil while a p-ckpt episode runs
 	safeguarding bool               // M1 safeguard in flight
 
+	met runMetrics
 	res stats.RunResult
 }
 
@@ -87,6 +92,7 @@ func (a *appSim) trace(kind trace.Kind, node int, detail string) {
 type predInfo struct {
 	node   int
 	failAt float64
+	lead   float64
 }
 
 type migration struct {
@@ -127,6 +133,10 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		avoided:     make(map[int64]bool),
 		migrations:  make(map[int]*migration),
 	}
+	a.met = newRunMetrics(cfg.Metrics, cfg.Model)
+	if cfg.Metrics != nil {
+		a.observeCluster()
+	}
 	a.stream = failure.NewStream(failure.Config{
 		System:    cfg.System,
 		JobNodes:  cfg.App.Nodes,
@@ -134,6 +144,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		LeadScale: cfg.LeadScale,
 		FNRate:    cfg.FNRate,
 		FPRate:    cfg.FPRate,
+		Metrics:   cfg.Metrics,
 	}, src.Split(1))
 	a.tBB = a.io.BBWriteTime(a.perNode)
 	a.drainDur = a.io.DrainTime(a.nodes, a.perNode)
@@ -177,7 +188,11 @@ func (a *appSim) run(p *sim.Proc) {
 func (a *appSim) computeChunk(p *sim.Proc) {
 	a.refreshOCI()
 	target := math.Min(a.progress+a.curOCI, a.total)
-	a.trace(trace.CycleStart, -1, fmt.Sprintf("interval=%.0fs", target-a.progress))
+	// Guard the Sprintf, not just the Record: the hot path must not
+	// format (or allocate) when tracing is off.
+	if a.cfg.Trace != nil {
+		a.trace(trace.CycleStart, -1, fmt.Sprintf("interval=%.0fs", target-a.progress))
+	}
 	for a.progress < target {
 		start := a.env.Now()
 		err := p.Wait(target - a.progress)
@@ -200,11 +215,14 @@ func (a *appSim) computeChunk(p *sim.Proc) {
 // bbCheckpoint performs the synchronous burst-buffer write of a periodic
 // checkpoint and launches the asynchronous PFS drain.
 func (a *appSim) bbCheckpoint(p *sim.Proc) {
+	began := a.env.Now()
 	if !a.blockedWait(p, a.tBB, &a.res.Overheads.Checkpoint) {
 		// A failure voided the write and rolled progress back; resume
 		// computing, the next cycle will checkpoint the redone state.
+		a.met.bbAborted.Inc()
 		return
 	}
+	a.met.bbWrite.Observe(a.env.Now() - began)
 	a.res.Checkpoints++
 	a.bbProgress = a.progress
 	a.trace(trace.BBWrite, -1, "")
@@ -212,7 +230,11 @@ func (a *appSim) bbCheckpoint(p *sim.Proc) {
 	a.drainGen++
 	gen := a.drainGen
 	captured := a.progress
+	a.drainsInFlight++
+	a.met.drainDepth.Set(a.env.Now(), float64(a.drainsInFlight))
 	a.env.At(a.drainDur, func() {
+		a.drainsInFlight--
+		a.met.drainDepth.Set(a.env.Now(), float64(a.drainsInFlight))
 		// The drain completes unless a newer checkpoint superseded it
 		// (each BB write restarts the drain of the newest data).
 		if gen == a.drainGen {
@@ -263,9 +285,11 @@ func (a *appSim) handleEvents(p *sim.Proc) {
 // onPrediction applies the model's proactive policy.
 func (a *appSim) onPrediction(p *sim.Proc, ev failure.Event) {
 	if ev.Kind == failure.KindPrediction {
-		a.predicted[ev.ID] = predInfo{node: ev.Node, failAt: ev.FailTime}
-		a.trace(trace.Prediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
-	} else {
+		a.predicted[ev.ID] = predInfo{node: ev.Node, failAt: ev.FailTime, lead: ev.Lead}
+		if a.cfg.Trace != nil {
+			a.trace(trace.Prediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
+		}
+	} else if a.cfg.Trace != nil {
 		a.trace(trace.SpuriousPrediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
 	}
 	if err := a.cl.MarkVulnerable(ev.Node, ev.FailTime); err == nil {
@@ -316,7 +340,9 @@ func (a *appSim) onPrediction(p *sim.Proc, ev failure.Event) {
 func (a *appSim) startMigration(ev failure.Event) {
 	m := &migration{ev: ev}
 	a.migrations[ev.Node] = m
-	a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.theta))
+	if a.cfg.Trace != nil {
+		a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.theta))
+	}
 	a.cl.MarkMigrating(ev.Node)
 	a.env.At(a.theta, func() {
 		if m.aborted {
@@ -376,6 +402,7 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 			break
 		}
 		ep.committed++
+		a.met.commitLat.Observe(a.env.Now() - epBegin)
 		a.trace(trace.VulnerableCommit, ev.Node, "")
 		a.cl.RecordPFSCheckpoint(ev.Node, ep.startProgress)
 		if a.cl.Node(ev.Node).State == cluster.Vulnerable {
@@ -385,21 +412,30 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 			// The vulnerable node's state reached the PFS before its
 			// failure: the failure is mitigated.
 			a.mitigatedAt[ev.ID] = ep.startProgress
+			a.met.leadConsumed.Observe(a.env.Now() - (ev.FailTime - ev.Lead))
+			a.met.leadMargin.Observe(ev.FailTime - a.env.Now())
 		}
 	}
 	if ep.abandoned {
+		a.met.episodesAbandoned.Inc()
 		return
 	}
 	// Phase 2: pfs-commit broadcast; healthy nodes write together.
 	healthy := a.nodes - ep.committed
 	if healthy > 0 {
-		if !a.blockedWait(p, a.io.PFSWriteTime(healthy, a.perNode), &a.res.Overheads.Checkpoint) {
+		tr := a.io.PFSWriteTransfer(healthy, a.perNode)
+		if !a.blockedWait(p, tr.Seconds, &a.res.Overheads.Checkpoint) {
+			a.met.episodesAbandoned.Inc()
 			return
 		}
+		a.met.pfsGBs.Observe(tr.GBs)
 	}
 	a.commitFullPFS(ep.startProgress)
 	a.rescheduled = true
-	a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.env.Now()-epBegin, ep.committed))
+	a.met.episodeDur.Observe(a.env.Now() - epBegin)
+	if a.cfg.Trace != nil {
+		a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.env.Now()-epBegin, ep.committed))
+	}
 }
 
 // safeguard runs M1's just-in-time checkpoint: every node writes to the
@@ -412,6 +448,7 @@ func (a *appSim) safeguard(p *sim.Proc) {
 	defer func() { a.safeguarding = false }()
 	a.res.ProactiveCkpts++
 	a.trace(trace.SafeguardStart, -1, "")
+	began := a.env.Now()
 	startProgress := a.progress
 	if !a.blockedWait(p, a.fullWrite, &a.res.Overheads.Checkpoint) {
 		return // the failure won the race (or rolled us back)
@@ -420,11 +457,17 @@ func (a *appSim) safeguard(p *sim.Proc) {
 	a.rescheduled = true
 	a.trace(trace.SafeguardEnd, -1, "")
 	now := a.env.Now()
+	a.met.safeguardDur.Observe(now - began)
+	if a.fullWrite > 0 {
+		a.met.pfsGBs.Observe(float64(a.nodes) * a.perNode / a.fullWrite)
+	}
 	for id, pi := range a.predicted {
 		if pi.failAt >= now {
 			// The safeguard committed everyone's state before this
 			// pending failure: mitigated.
 			a.mitigatedAt[id] = startProgress
+			a.met.leadConsumed.Observe(now - (pi.failAt - pi.lead))
+			a.met.leadMargin.Observe(pi.failAt - now)
 		}
 	}
 }
@@ -471,12 +514,14 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 	// is fresher.
 	q := a.cl.RecoverableProgress(ev.Node)
 	recovery := a.recoveryBB
+	fullPFSRestore := false
 	if mitigated && mitQ >= q {
 		q = mitQ
 		// Recovering from a proactive checkpoint pulls every node's
 		// state from the PFS (Sec. II), which is what makes recovery
 		// visible in P1's overhead breakdown.
 		recovery = a.recoveryPFS
+		fullPFSRestore = true
 	}
 	if q < 0 {
 		q = 0 // no checkpoint yet: restart from the beginning
@@ -487,17 +532,25 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 		a.res.Recompute += loss
 		a.progress = q
 	}
-	outcome := "unhandled"
-	if mitigated {
-		outcome = "mitigated"
+	a.met.recomputeLoss.Observe(loss)
+	if fullPFSRestore && recovery > 0 {
+		a.met.pfsGBs.Observe(float64(a.nodes) * a.perNode / recovery)
 	}
-	a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
+	if a.cfg.Trace != nil {
+		outcome := "unhandled"
+		if mitigated {
+			outcome = "mitigated"
+		}
+		a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
+	}
 	if err := a.cl.Replace(ev.Node); err != nil {
 		panic(fmt.Sprintf("crmodel: %v", err))
 	}
 	// Recovery: restart as many times as failures force us to.
+	began := a.env.Now()
 	for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
 	}
+	a.met.recoveryDur.Observe(a.env.Now() - began)
 	a.trace(trace.RecoveryDone, ev.Node, "")
 }
 

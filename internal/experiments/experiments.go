@@ -13,6 +13,7 @@ import (
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
+	"pckpt/internal/metrics"
 	"pckpt/internal/stats"
 	"pckpt/internal/workload"
 )
@@ -23,20 +24,29 @@ type Params struct {
 	// (the paper uses 1000; the default here is 200, which reproduces
 	// every qualitative result in a fraction of the time).
 	Runs int
-	// Seed is the base seed; every configuration derives its own.
+	// Seed is the base seed; every configuration derives its own. The
+	// zero value selects 42 unless SeedSet says zero was meant.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, so Seed == 0 simulates
+	// with base seed 0 instead of the default 42.
+	SeedSet bool
 	// Workers bounds the worker pool (default: GOMAXPROCS).
 	Workers int
 	// Apps restricts the applications simulated (names from the Table I
 	// catalogue); empty means the experiment's own default set.
 	Apps []string
+	// Metrics, when non-nil, collects merged simulation-metric snapshots
+	// across every configuration the experiment runs (see
+	// internal/metrics). Metering adds per-run registries but keeps the
+	// simulation hot path allocation-free.
+	Metrics *metrics.Collector
 }
 
 func (p Params) withDefaults() Params {
 	if p.Runs <= 0 {
 		p.Runs = 200
 	}
-	if p.Seed == 0 {
+	if p.Seed == 0 && !p.SeedSet {
 		p.Seed = 42
 	}
 	if p.Workers <= 0 {
@@ -131,9 +141,15 @@ func configSeed(base uint64, label string) uint64 {
 	return h
 }
 
-// runConfig simulates one (model, app, …) configuration.
+// runConfig simulates one (model, app, …) configuration, metering it
+// into p.Metrics when collection is on.
 func runConfig(p Params, cfg crmodel.Config, label string) *stats.Agg {
-	return crmodel.SimulateNWorkers(cfg, p.Runs, configSeed(p.Seed, label), p.Workers)
+	if p.Metrics == nil {
+		return crmodel.SimulateNWorkers(cfg, p.Runs, configSeed(p.Seed, label), p.Workers)
+	}
+	agg, snap := crmodel.SimulateNMetered(cfg, p.Runs, configSeed(p.Seed, label), p.Workers)
+	p.Metrics.Add(snap)
+	return agg
 }
 
 // modelSet runs several models on one app/system/lead-scale and returns

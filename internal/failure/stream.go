@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pckpt/internal/metrics"
 	"pckpt/internal/queue"
 	"pckpt/internal/rng"
 )
@@ -86,6 +87,11 @@ type Config struct {
 	// FPRate is the fraction of predictions that are false positives
 	// (the paper holds it at 0.18).
 	FPRate float64
+	// Metrics, when non-nil, receives the predictor's delivered
+	// accounting as the stream is consumed: the lead-time distribution
+	// actually handed to the simulator plus true/false positive and
+	// false negative counts (see internal/metrics). Nil costs nothing.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills zero fields.
@@ -139,6 +145,13 @@ type Stream struct {
 	jobScale  float64 // Weibull scale for job inter-arrivals, seconds
 	nextID    int64
 	emittedTo float64
+
+	// Metrics handles (nil when metering is off; see internal/metrics).
+	mLeadDelivered *metrics.Histogram
+	mPredictions   *metrics.Counter
+	mSpurious      *metrics.Counter
+	mUnpredicted   *metrics.Counter
+	mFailures      *metrics.Counter
 }
 
 // NewStream builds a stream. It panics on invalid configuration.
@@ -156,6 +169,12 @@ func NewStream(cfg Config, src *rng.Source) *Stream {
 		leads:    leads,
 		src:      src,
 		jobScale: cfg.System.JobScaleSeconds(cfg.JobNodes),
+
+		mLeadDelivered: cfg.Metrics.Histogram("failure.lead_delivered_seconds"),
+		mPredictions:   cfg.Metrics.Counter("failure.true_predictions"),
+		mSpurious:      cfg.Metrics.Counter("failure.false_positives"),
+		mUnpredicted:   cfg.Metrics.Counter("failure.false_negatives"),
+		mFailures:      cfg.Metrics.Counter("failure.failures"),
 	}
 	// Spurious predictions arrive so that FPRate of all predictions are
 	// false: rate_fp = rate_true_pred × FP/(1−FP).
@@ -239,6 +258,20 @@ func (s *Stream) Next() Event {
 		panic(fmt.Sprintf("failure: stream emitted out of order (%g after %g)", ev.Time, s.emittedTo))
 	}
 	s.emittedTo = ev.Time
+	// Account delivered events, not generated ones: what reaches the
+	// consumer is what the simulator actually experienced.
+	switch ev.Kind {
+	case KindPrediction:
+		s.mPredictions.Inc()
+		s.mLeadDelivered.Observe(ev.Lead)
+	case KindSpurious:
+		s.mSpurious.Inc()
+	case KindFailure:
+		s.mFailures.Inc()
+		if ev.Lead == 0 {
+			s.mUnpredicted.Inc()
+		}
+	}
 	return ev
 }
 

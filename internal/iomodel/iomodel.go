@@ -198,6 +198,31 @@ func (m *Model) PFSReadTime(nodes int, perNodeGB float64) float64 {
 	return m.PFSWriteTime(nodes, perNodeGB)
 }
 
+// Transfer describes one priced collective PFS operation: the volume
+// moved, the seconds it takes, and the effective aggregate bandwidth
+// actually drawn — the quantity the metrics layer records per write to
+// expose PFS contention over a run.
+type Transfer struct {
+	Nodes    int
+	VolumeGB float64
+	Seconds  float64
+	// GBs is VolumeGB/Seconds: the effective aggregate bandwidth, which
+	// sits below the matrix entry whenever the transfer is latency-bound.
+	GBs float64
+}
+
+// PFSWriteTransfer prices a collective write of perNodeGB per node and
+// returns the full transfer description. PFSWriteTime is this function's
+// Seconds component.
+func (m *Model) PFSWriteTransfer(nodes int, perNodeGB float64) Transfer {
+	t := Transfer{Nodes: nodes, VolumeGB: float64(nodes) * perNodeGB}
+	t.Seconds = m.PFSWriteTime(nodes, perNodeGB)
+	if t.Seconds > 0 {
+		t.GBs = t.VolumeGB / t.Seconds
+	}
+	return t
+}
+
 // SingleNodePFSWriteTime returns the seconds for ONE node to write
 // perNodeGB to the PFS without contention — the prioritized, low-latency
 // critical path a vulnerable node gets under p-ckpt.

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pckpt/internal/tablefmt"
+)
+
+// Render formats a snapshot as aligned tables: histograms with their
+// percentiles first (the headline latencies), then gauges (time-weighted
+// levels), then counters. Empty sections are omitted; an entirely empty
+// snapshot renders a placeholder line.
+func Render(s *Snapshot) string {
+	if s.Empty() {
+		return "(no metrics recorded)\n"
+	}
+	var b strings.Builder
+	if len(s.Histograms) > 0 {
+		t := tablefmt.NewTable("histogram", "count", "mean", "p50", "p95", "p99", "max")
+		for _, name := range sortedNames(s.Histograms) {
+			h := s.Histograms[name]
+			t.AddRow(name, fmt.Sprintf("%d", h.Count), sig(h.Mean()), sig(h.P50), sig(h.P95), sig(h.P99), sig(h.Max))
+		}
+		b.WriteString(t.String())
+	}
+	if len(s.Gauges) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		t := tablefmt.NewTable("gauge", "time-mean", "min", "max", "last")
+		for _, name := range sortedNames(s.Gauges) {
+			g := s.Gauges[name]
+			t.AddRow(name, sig(g.Mean()), sig(g.Min), sig(g.Max), sig(g.Last))
+		}
+		b.WriteString(t.String())
+	}
+	if len(s.Counters) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		t := tablefmt.NewTable("counter", "total")
+		for _, name := range sortedNames(s.Counters) {
+			t.AddRow(name, sig(s.Counters[name]))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// sig formats a value to four significant digits — latencies span
+// microseconds to days, so fixed decimals fit nothing.
+func sig(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// GaugeStat is a gauge's snapshot: the time integral of the tracked value
+// over the observed span, plus exact extrema. Merging sums integrals and
+// spans, so the merged Mean stays the correct time-weighted average
+// across runs.
+type GaugeStat struct {
+	// Integral is ∫value·dt over the observed span, in value·seconds.
+	Integral float64 `json:"integral"`
+	// Seconds is the observed span (time between first and last Set).
+	Seconds float64 `json:"seconds"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	// Last is the value at snapshot time. After a merge it is the last
+	// merged shard's value (shards merge in seed order, so it remains
+	// deterministic, but only per-run snapshots give it physical meaning).
+	Last float64 `json:"last"`
+}
+
+// Mean returns the time-weighted mean (Last when the span is empty).
+func (g GaugeStat) Mean() float64 {
+	if g.Seconds <= 0 {
+		return g.Last
+	}
+	return g.Integral / g.Seconds
+}
+
+// Bucket is one non-empty histogram bucket, identified by its index in
+// the package-wide layout.
+type Bucket struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// HistStat is a histogram's snapshot: exact count/sum/min/max, the
+// non-empty buckets (sparse, ascending index), and quantiles estimated
+// from them. P50/P95/P99 are derived fields recomputed on merge; they are
+// serialized so downstream consumers (BENCH_*.json comparisons) need not
+// know the bucket layout.
+type HistStat struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the exact arithmetic mean of the observations.
+func (h HistStat) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the buckets: the
+// geometric midpoint of the bucket holding the target rank, clamped to
+// the exact observed [Min, Max].
+func (h HistStat) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= target {
+			lo, hi := bucketLo(b.Index), bucketHi(b.Index)
+			var est float64
+			switch {
+			case b.Index == 0:
+				est = h.Min
+			case math.IsInf(hi, 1):
+				est = h.Max
+			default:
+				est = math.Sqrt(lo * hi)
+			}
+			return math.Min(math.Max(est, h.Min), h.Max)
+		}
+	}
+	return h.Max
+}
+
+// refreshQuantiles recomputes the derived P50/P95/P99 fields.
+func (h *HistStat) refreshQuantiles() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
+}
+
+// merge folds o into h bucket-for-bucket.
+func (h *HistStat) merge(o HistStat) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 {
+		h.Min, h.Max = o.Min, o.Max
+	} else {
+		h.Min = math.Min(h.Min, o.Min)
+		h.Max = math.Max(h.Max, o.Max)
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	merged := make(map[int]uint64, len(h.Buckets)+len(o.Buckets))
+	for _, b := range h.Buckets {
+		merged[b.Index] += b.Count
+	}
+	for _, b := range o.Buckets {
+		merged[b.Index] += b.Count
+	}
+	h.Buckets = h.Buckets[:0]
+	for i, n := range merged {
+		h.Buckets = append(h.Buckets, Bucket{Index: i, Count: n})
+	}
+	sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Index < h.Buckets[j].Index })
+	h.refreshQuantiles()
+}
+
+// Snapshot is a registry's state frozen at a point in simulation time:
+// plain data, JSON-serializable, and mergeable across runs (all
+// histograms share the package bucket layout, so merging shard snapshots
+// is exact — a property test guards this).
+type Snapshot struct {
+	Counters   map[string]float64   `json:"counters,omitempty"`
+	Gauges     map[string]GaugeStat `json:"gauges,omitempty"`
+	Histograms map[string]HistStat  `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry at simulation time now: gauge integrals
+// are extended to now (a gauge last set at t < now is worth its last
+// value for the remaining now−t). The registry remains usable. Returns
+// an empty snapshot for a nil registry.
+func (r *Registry) Snapshot(now float64) *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]float64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.n
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeStat, len(r.gauges))
+		for name, g := range r.gauges {
+			st := GaugeStat{Integral: g.integral, Seconds: g.dur, Min: g.min, Max: g.max, Last: g.last}
+			if g.set && now > g.lastT {
+				st.Integral += (now - g.lastT) * g.last
+				st.Seconds += now - g.lastT
+			}
+			s.Gauges[name] = st
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistStat, len(r.hists))
+		for name, h := range r.hists {
+			st := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			for i, n := range h.buckets {
+				if n > 0 {
+					st.Buckets = append(st.Buckets, Bucket{Index: i, Count: n})
+				}
+			}
+			st.refreshQuantiles()
+			s.Histograms[name] = st
+		}
+	}
+	return s
+}
+
+// Merge folds o into s. Metrics present in only one side are kept as-is;
+// shared names are combined (counters add, gauge integrals and spans
+// add, histogram buckets add). Safe with a nil or empty o.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	for name, v := range o.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]float64, len(o.Counters))
+		}
+		s.Counters[name] += v
+	}
+	for name, og := range o.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]GaugeStat, len(o.Gauges))
+		}
+		g, ok := s.Gauges[name]
+		if !ok {
+			s.Gauges[name] = og
+			continue
+		}
+		g.Integral += og.Integral
+		g.Seconds += og.Seconds
+		g.Min = math.Min(g.Min, og.Min)
+		g.Max = math.Max(g.Max, og.Max)
+		g.Last = og.Last
+		s.Gauges[name] = g
+	}
+	for name, oh := range o.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistStat, len(o.Histograms))
+		}
+		h := s.Histograms[name]
+		h.merge(oh)
+		s.Histograms[name] = h
+	}
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s *Snapshot) Empty() bool {
+	return s == nil || (len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0)
+}
+
+// WriteJSON writes the snapshot to path as indented JSON.
+func (s *Snapshot) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Collector accumulates snapshots from many runs or configurations into
+// one merged snapshot. Unlike Registry it is safe for concurrent use:
+// merging happens off the simulation hot path, where a mutex is cheap.
+type Collector struct {
+	mu   sync.Mutex
+	snap Snapshot
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add merges one snapshot into the collector. No-op on a nil collector.
+func (c *Collector) Add(s *Snapshot) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snap.Merge(s)
+}
+
+// Snapshot returns a copy of the merged state collected so far.
+func (c *Collector) Snapshot() *Snapshot {
+	if c == nil {
+		return &Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Snapshot{}
+	out.Merge(&c.snap)
+	return out
+}

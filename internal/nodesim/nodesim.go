@@ -26,6 +26,7 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/lm"
+	"pckpt/internal/metrics"
 	"pckpt/internal/oci"
 	"pckpt/internal/rng"
 	"pckpt/internal/sim"
@@ -74,6 +75,12 @@ type Config struct {
 	LeadScale float64
 	// FNRate / FPRate configure the predictor (zero selects defaults).
 	FNRate, FPRate float64
+	// Metrics, when non-nil, receives the run's simulation-time metrics
+	// (see internal/metrics): episode spans, per-node commit latency,
+	// coordination (lane) wait, drain queue depth. Nil costs nothing on
+	// the hot path. A Registry is single-run state — do not share one
+	// across concurrent Simulate calls.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -206,7 +213,46 @@ type cluster struct {
 	migrations  map[int]*migration
 	episode     *episodeState
 
+	// drainsInFlight counts scheduled BB→PFS drain completions not yet
+	// fired, mirrored into the drain-depth gauge.
+	drainsInFlight int
+
+	met nodeMetrics
 	res stats.RunResult
+}
+
+// nodeMetrics is the node-granular tier's instrument handle set; all nil
+// (free no-ops) when metering is off. Names are prefixed
+// "nodesim.<policy>." to keep the tier's distributions apart from the
+// application-level model's "sim.<model>." series.
+type nodeMetrics struct {
+	bbWrite    *metrics.Histogram // blocked span per completed BB phase
+	episodeDur *metrics.Histogram // blocked span per completed episode
+	commitLat  *metrics.Histogram // vulnWrite post → PFS commit, per node
+	laneWait   *metrics.Histogram // coordination wait for the priority lane
+	recoveryDur,
+	recomputeLoss *metrics.Histogram
+	pfsGBs            *metrics.Histogram // effective aggregate GB/s per phase-2 write
+	drainDepth        *metrics.Gauge
+	episodesAbandoned *metrics.Counter
+}
+
+func newNodeMetrics(r *metrics.Registry, pol Policy) nodeMetrics {
+	if r == nil {
+		return nodeMetrics{}
+	}
+	p := "nodesim." + pol.String() + "."
+	return nodeMetrics{
+		bbWrite:           r.Histogram(p + "bb_write_seconds"),
+		episodeDur:        r.Histogram(p + "episode_seconds"),
+		commitLat:         r.Histogram(p + "episode_commit_latency_seconds"),
+		laneWait:          r.Histogram(p + "lane_wait_seconds"),
+		recoveryDur:       r.Histogram(p + "recovery_seconds"),
+		recomputeLoss:     r.Histogram(p + "recompute_loss_seconds"),
+		pfsGBs:            r.Histogram(p + "pfs_effective_gbps"),
+		drainDepth:        r.Gauge(p + "drain_queue_depth"),
+		episodesAbandoned: r.Counter(p + "episodes_abandoned"),
+	}
 }
 
 type migration struct {
@@ -252,6 +298,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	c.recoveryBB = math.Max(c.io.BBReadTime(c.perNode), c.io.SingleNodePFSReadTime(c.perNode))
 	c.recoveryPFS = c.io.PFSReadTime(cfg.App.Nodes, c.perNode)
 
+	c.met = newNodeMetrics(cfg.Metrics, cfg.Policy)
 	src := rng.New(seed)
 	stream := failure.NewStream(failure.Config{
 		System:    cfg.System,
@@ -260,6 +307,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		LeadScale: cfg.LeadScale,
 		FNRate:    cfg.FNRate,
 		FPRate:    cfg.FPRate,
+		Metrics:   cfg.Metrics,
 	}, src.Split(1))
 
 	for i := 0; i < cfg.App.Nodes; i++ {
@@ -301,16 +349,22 @@ func (c *cluster) nodeLoop(p *sim.Proc, n *node) {
 }
 
 // vulnWrite is the phase-1 prioritized commit: acquire the PFS lane in
-// lead-time order, write uncontended, record mitigation.
+// lead-time order, write uncontended, record mitigation. Entry time is
+// the post time (posting triggers the node in the same sim instant), so
+// the lane-acquire span is the protocol's coordination wait and the full
+// span is the per-node commit latency.
 func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
+	posted := c.env.Now()
 	if err := c.lane.Acquire(p, cmd.deadline); err != nil {
 		return // episode abandoned while queued
 	}
+	c.met.laneWait.Observe(c.env.Now() - posted)
 	err := p.Wait(c.singleWrite)
 	c.lane.Release()
 	if err != nil {
 		return // aborted mid-write
 	}
+	c.met.commitLat.Observe(c.env.Now() - posted)
 	if c.episode != nil {
 		c.episode.committed++
 	}
@@ -428,6 +482,7 @@ func (c *cluster) computePhase(p *sim.Proc) {
 // afterwards (handler pauses are excluded via pausedInPhase). A failure
 // voids the write entirely.
 func (c *cluster) bbPhase(p *sim.Proc) {
+	began := c.env.Now()
 	remaining := c.tBB
 	for remaining > 1e-9 {
 		start := c.env.Now()
@@ -445,12 +500,17 @@ func (c *cluster) bbPhase(p *sim.Proc) {
 		}
 		remaining -= worked
 	}
+	c.met.bbWrite.Observe(c.env.Now() - began)
 	c.res.Checkpoints++
 	c.bbProgress = c.progress
 	c.drainGen++
 	gen := c.drainGen
 	captured := c.progress
+	c.drainsInFlight++
+	c.met.drainDepth.Set(c.env.Now(), float64(c.drainsInFlight))
 	c.env.At(c.drainDur, func() {
+		c.drainsInFlight--
+		c.met.drainDepth.Set(c.env.Now(), float64(c.drainsInFlight))
 		if gen == c.drainGen && captured > c.pfsProgress {
 			c.pfsProgress = captured
 		}
@@ -555,6 +615,7 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 	// Wait for the aborted outer phase to drain before reusing nodes.
 	if !c.awaitPhase(p) {
 		charge()
+		c.met.episodesAbandoned.Inc()
 		return // a failure landed even before phase 1 began
 	}
 	for _, ev := range pendingVuln {
@@ -565,23 +626,27 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 	}
 	if !c.awaitPhase(p) || ep.abandoned {
 		charge()
+		c.met.episodesAbandoned.Inc()
 		return
 	}
 	// Phase 2: pfs-commit broadcast; every remaining node writes.
 	healthy := len(c.nodes) - ep.committed
 	if healthy > 0 {
-		dur := c.io.PFSWriteTime(healthy, c.perNode)
+		tr := c.io.PFSWriteTransfer(healthy, c.perNode)
 		for _, n := range c.nodes {
 			if !n.busy {
-				c.post(n, command{kind: cmdBulkWrite, dur: dur})
+				c.post(n, command{kind: cmdBulkWrite, dur: tr.Seconds})
 			}
 		}
 		if !c.awaitPhase(p) {
 			charge()
+			c.met.episodesAbandoned.Inc()
 			return
 		}
+		c.met.pfsGBs.Observe(tr.GBs)
 	}
 	charge()
+	c.met.episodeDur.Observe(c.env.Now() - start)
 	if c.failEpoch == epochStart {
 		if ep.startProgress > c.pfsProgress {
 			c.pfsProgress = ep.startProgress
@@ -632,6 +697,7 @@ func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
 		q = 0
 	}
 	if c.progress > q {
+		c.met.recomputeLoss.Observe(c.progress - q)
 		c.res.Recompute += c.progress - q
 		c.progress = q
 	}
@@ -657,6 +723,7 @@ func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
 		start = c.env.Now()
 		post()
 	}
+	c.met.recoveryDur.Observe(c.env.Now() - start)
 	c.res.Overheads.Recovery += c.env.Now() - start
 	nested := c.pausedInPhase - pausedBefore
 	c.pausedInPhase = pausedBefore + nested + ((c.env.Now() - pauseStart) - nested)

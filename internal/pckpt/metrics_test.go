@@ -1,0 +1,39 @@
+package pckpt
+
+import (
+	"testing"
+
+	"pckpt/internal/metrics"
+)
+
+func TestEpisodeMetrics(t *testing.T) {
+	reg := metrics.New()
+	cfg := testConfig(8, 20, false)
+	cfg.Metrics = reg
+	preds := []Prediction{
+		{Node: 1, At: 0, Lead: 500},
+		{Node: 2, At: 5, Lead: 300},
+	}
+	res := Run(cfg, preds)
+	snap := reg.Snapshot(res.Phase2End)
+	// Both vulnerable nodes waited for the lane and committed through it.
+	if n := int(snap.Histograms["pckpt.lane_wait_seconds"].Count); n != 2 {
+		t.Fatalf("lane_wait_seconds count %d, want 2", n)
+	}
+	if n := int(snap.Histograms["pckpt.commit_latency_seconds"].Count); n != 2 {
+		t.Fatalf("commit_latency_seconds count %d, want 2", n)
+	}
+	// The second prediction queued while the first held the lane.
+	if g := snap.Gauges["pckpt.queue_depth"]; g.Max < 1 {
+		t.Fatalf("queue depth never rose: %+v", g)
+	}
+	// One phase-2 collective write for the 6 healthy nodes.
+	if ph2 := snap.Histograms["pckpt.pfs_effective_gbps"]; ph2.Count != 1 {
+		t.Fatalf("pfs_effective_gbps count %d, want 1", ph2.Count)
+	}
+	// A nil registry must leave the episode unchanged.
+	plain := Run(testConfig(8, 20, false), preds)
+	if plain.Phase2End != res.Phase2End || len(plain.Outcomes) != len(res.Outcomes) {
+		t.Fatal("metering changed the episode outcome")
+	}
+}

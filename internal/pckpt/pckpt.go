@@ -33,6 +33,7 @@ import (
 
 	"pckpt/internal/iomodel"
 	"pckpt/internal/lm"
+	"pckpt/internal/metrics"
 	"pckpt/internal/queue"
 	"pckpt/internal/sim"
 )
@@ -77,6 +78,11 @@ type Config struct {
 	// Hybrid enables the LM-preferred policy of the hybrid p-ckpt model;
 	// false forces every prediction onto the p-ckpt path (model P1).
 	Hybrid bool
+	// Metrics, when non-nil, receives the episode's protocol metrics
+	// ("pckpt."-prefixed: priority-queue depth over episode time, lane
+	// wait, per-node commit latency, phase-2 effective bandwidth). Nil
+	// costs nothing.
+	Metrics *metrics.Registry
 }
 
 // Validate reports a configuration error, or nil.
@@ -182,7 +188,34 @@ type episode struct {
 	// migrations tracks in-flight migrations for the abort broadcast.
 	migrations map[int]*sim.Proc
 
+	met epMetrics
+
 	result Result
+}
+
+// epMetrics is the episode's instrument handle set; all nil (and every
+// call a free no-op) when Config.Metrics is nil.
+type epMetrics struct {
+	// laneWait is each vulnerable node's span from enqueue to the
+	// arbiter's grant; commitLat extends it through the prioritized write.
+	laneWait  *metrics.Histogram
+	commitLat *metrics.Histogram
+	// pfsGBs is the effective aggregate bandwidth of the phase-2 write.
+	pfsGBs *metrics.Histogram
+	// queueDepth tracks the priority queue's population over episode time.
+	queueDepth *metrics.Gauge
+}
+
+func newEpMetrics(r *metrics.Registry) epMetrics {
+	if r == nil {
+		return epMetrics{}
+	}
+	return epMetrics{
+		laneWait:   r.Histogram("pckpt.lane_wait_seconds"),
+		commitLat:  r.Histogram("pckpt.commit_latency_seconds"),
+		pfsGBs:     r.Histogram("pckpt.pfs_effective_gbps"),
+		queueDepth: r.Gauge("pckpt.queue_depth"),
+	}
 }
 
 type vulnNode struct {
@@ -218,6 +251,7 @@ func Run(cfg Config, preds []Prediction) *Result {
 		pfsCommit:  sim.NewEvent(env),
 		migrations: make(map[int]*sim.Proc),
 	}
+	e.met = newEpMetrics(cfg.Metrics)
 	env.Spawn("arbiter", e.arbiter)
 	for i, p := range preds {
 		p := p
@@ -285,18 +319,22 @@ func (e *episode) startPckpt() {
 // prioritized write completes.
 func (e *episode) joinQueue(proc *sim.Proc, node int, deadline float64, action Action) {
 	vn := &vulnNode{node: node, deadline: deadline, turn: sim.NewEvent(e.env)}
+	enqueued := e.env.Now()
 	e.pending++
 	e.vulnQ.Push(deadline, vn)
+	e.met.queueDepth.Set(enqueued, float64(e.vulnQ.Len()))
 	e.tracef("node %d queued (deadline %.2fs, queue depth %d)", node, deadline, e.vulnQ.Len())
 	e.queued.Trigger()
 	if err := proc.WaitEvent(vn.turn); err != nil {
 		panic(fmt.Sprintf("pckpt: queue turn interrupted: %v", err))
 	}
+	e.met.laneWait.Observe(e.env.Now() - enqueued)
 	// The arbiter granted exclusive PFS access; write uncontended.
 	if err := proc.Wait(e.cfg.IO.SingleNodePFSWriteTime(e.cfg.PerNodeGB)); err != nil {
 		panic(fmt.Sprintf("pckpt: prioritized write interrupted: %v", err))
 	}
 	done := e.env.Now()
+	e.met.commitLat.Observe(done - enqueued)
 	e.tracef("node %d committed to PFS (%s)", node, map[bool]string{true: "in time", false: "LATE"}[done <= deadline])
 	e.record(Outcome{Node: node, Action: action, Deadline: deadline, DoneAt: done, Mitigated: done <= deadline})
 	e.pending--
@@ -325,6 +363,7 @@ func (e *episode) arbiter(proc *sim.Proc) {
 			}
 		}
 		_, vn := e.vulnQ.Pop()
+		e.met.queueDepth.Set(e.env.Now(), float64(e.vulnQ.Len()))
 		e.result.CommitOrder = append(e.result.CommitOrder, vn.node)
 		e.tracef("arbiter grants PFS to node %d", vn.node)
 		e.writeDone = sim.NewEvent(e.env)
@@ -354,9 +393,11 @@ func (e *episode) finish(proc *sim.Proc) {
 	e.tracef("all vulnerable nodes committed: pfs-commit broadcast, %d healthy nodes begin phase 2", healthy)
 	e.pfsCommit.Trigger()
 	if healthy > 0 {
-		if err := proc.Wait(e.cfg.IO.PFSWriteTime(healthy, e.cfg.PerNodeGB)); err != nil {
+		tr := e.cfg.IO.PFSWriteTransfer(healthy, e.cfg.PerNodeGB)
+		if err := proc.Wait(tr.Seconds); err != nil {
 			panic(fmt.Sprintf("pckpt: phase-2 write interrupted: %v", err))
 		}
+		e.met.pfsGBs.Observe(tr.GBs)
 	}
 	e.result.Phase2End = e.env.Now()
 	e.tracef("phase 2 complete: application checkpoint fully on PFS")
