@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet fmt-check crossval bench ci
 
 build:
 	$(GO) build ./...
@@ -14,11 +15,26 @@ race:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@fmtout="$$($(GOFMT) -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+
+# crossval races the tier cross-validation: both simulation granularities
+# on matched platform configs and seeds, under the race detector.
+crossval:
+	$(GO) test -run TestCrossValidation -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# ci is the full gate: vet, build, and the race-enabled test suite.
+# ci is the full gate: formatting, vet, build, the race-enabled test
+# suite, and a dedicated race pass over the tier cross-validation.
 ci:
+	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run TestCrossValidation -race ./...

@@ -23,6 +23,7 @@ import (
 	"pckpt/internal/lm"
 	"pckpt/internal/nodesim"
 	"pckpt/internal/pckpt"
+	"pckpt/internal/platform"
 	"pckpt/internal/rng"
 	"pckpt/internal/sim"
 	"pckpt/internal/workload"
@@ -101,7 +102,7 @@ func BenchmarkAblationSingleRunPerModel(b *testing.B) {
 	}
 	for _, m := range crmodel.Models() {
 		b.Run(m.String(), func(b *testing.B) {
-			cfg := crmodel.Config{Model: m, App: app, System: failure.Titan}
+			cfg := crmodel.Config{Model: m, Config: platform.Config{App: app, System: failure.Titan}}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				crmodel.Simulate(cfg, uint64(i))
@@ -117,7 +118,7 @@ func BenchmarkAblationWorkerScaling(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := crmodel.Config{Model: crmodel.ModelP2, App: app, System: failure.Titan}
+	cfg := crmodel.Config{Model: crmodel.ModelP2, Config: platform.Config{App: app, System: failure.Titan}}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -140,7 +141,7 @@ func BenchmarkAblationDrainConcurrency(b *testing.B) {
 		ioCfg.DrainConcurrency = conc
 		io := iomodel.New(ioCfg)
 		b.Run(fmt.Sprintf("drainers=%d", conc), func(b *testing.B) {
-			cfg := crmodel.Config{Model: crmodel.ModelB, App: app, System: failure.Titan, IO: io}
+			cfg := crmodel.Config{Model: crmodel.ModelB, Config: platform.Config{App: app, System: failure.Titan, IO: io}}
 			var recompute float64
 			for i := 0; i < b.N; i++ {
 				recompute += crmodel.Simulate(cfg, uint64(i)).Recompute
@@ -217,7 +218,7 @@ func BenchmarkPckptEpisode(b *testing.B) {
 func BenchmarkNodeGranularRun(b *testing.B) {
 	app := workload.App{Name: "bench", Nodes: 48, TotalCkptGB: 48 * 20, ComputeHours: 24}
 	sys := failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48}
-	cfg := nodesim.Config{Policy: nodesim.PolicyHybrid, App: app, System: sys}
+	cfg := nodesim.Config{Policy: nodesim.PolicyHybrid, Config: platform.Config{App: app, System: sys}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		nodesim.Simulate(cfg, uint64(i))
@@ -226,9 +227,7 @@ func BenchmarkNodeGranularRun(b *testing.B) {
 
 // BenchmarkDeshMine measures chain mining over a synthetic log.
 func BenchmarkDeshMine(b *testing.B) {
-	entries, _ := deshlog.Generate(deshlog.GenConfig{
-		Nodes: 512, Duration: 1e7, Failures: 2000, NoisePerChain: 10,
-	}, rng.New(1))
+	entries, _ := deshlog.Generate(deshlog.GenConfig{Nodes: 512, Duration: 1e7, Failures: 2000, NoisePerChain: 10}, rng.New(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -19,6 +19,7 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/trace"
@@ -65,13 +66,15 @@ func main() {
 	exitOn(err)
 
 	cfg := crmodel.Config{
-		Model:     model,
-		App:       app,
-		System:    sys,
-		LM:        lm.Default().WithAlpha(*alpha),
-		LeadScale: *leadScale,
-		FNRate:    *fnRate,
-		FPRate:    *fpRate,
+		Model: model,
+		Config: platform.Config{
+			App:       app,
+			System:    sys,
+			LM:        lm.Default().WithAlpha(*alpha),
+			LeadScale: *leadScale,
+			FNRate:    *fnRate,
+			FPRate:    *fpRate,
+		},
 	}
 	exitOn(cfg.Validate())
 

@@ -15,6 +15,7 @@ import (
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/workload"
@@ -31,7 +32,7 @@ func main() {
 	}
 
 	const seed = 7
-	base := crmodel.SimulateN(crmodel.Config{Model: crmodel.ModelB, App: app, System: failure.Titan}, *runs, seed)
+	base := crmodel.SimulateN(crmodel.Config{Model: crmodel.ModelB, Config: platform.Config{App: app, System: failure.Titan}}, *runs, seed)
 	baseTotal := base.MeanOverheads().Total()
 	fmt.Printf("%s under Titan failures: base model total overhead %s\n\n", app.Name, tablefmt.Hours(baseTotal))
 
@@ -41,7 +42,7 @@ func main() {
 		row := []string{fmt.Sprintf("%+.0f%%", (scale-1)*100)}
 		best, bestRed := "", -1e18
 		for _, m := range models {
-			cfg := crmodel.Config{Model: m, App: app, System: failure.Titan, LeadScale: scale}
+			cfg := crmodel.Config{Model: m, Config: platform.Config{App: app, System: failure.Titan, LeadScale: scale}}
 			agg := crmodel.SimulateN(cfg, *runs, seed)
 			red := stats.PercentReduction(baseTotal, agg.MeanOverheads().Total())
 			row = append(row, tablefmt.Percent(red))

@@ -17,6 +17,7 @@ import (
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/workload"
@@ -44,11 +45,11 @@ func main() {
 	t := tablefmt.NewTable("App", "recommended", "P1 red.", "P2 red.", "simulated best", "Eq.(8) verdict (α=3)")
 	for _, app := range workload.Summit() {
 		rec := recommend(app, sys)
-		base := crmodel.SimulateN(crmodel.Config{Model: crmodel.ModelB, App: app, System: sys}, *runs, 3)
+		base := crmodel.SimulateN(crmodel.Config{Model: crmodel.ModelB, Config: platform.Config{App: app, System: sys}}, *runs, 3)
 		baseTotal := base.MeanOverheads().Total()
 		reds := map[crmodel.Model]float64{}
 		for _, m := range []crmodel.Model{crmodel.ModelP1, crmodel.ModelP2} {
-			agg := crmodel.SimulateN(crmodel.Config{Model: m, App: app, System: sys}, *runs, 3)
+			agg := crmodel.SimulateN(crmodel.Config{Model: m, Config: platform.Config{App: app, System: sys}}, *runs, 3)
 			reds[m] = stats.PercentReduction(baseTotal, agg.MeanOverheads().Total())
 		}
 		best := crmodel.ModelP1
@@ -56,7 +57,7 @@ func main() {
 			best = crmodel.ModelP2
 		}
 		// The Eq. (8) view: does p-ckpt beat pure LM at the default α?
-		sigma := (crmodel.Config{Model: crmodel.ModelP2, App: app, System: sys}).Sigma()
+		sigma := (crmodel.Config{Model: crmodel.ModelP2, Config: platform.Config{App: app, System: sys}}).Sigma()
 		if sigma >= analytic.SigmaMax {
 			sigma = analytic.SigmaMax - 1e-9
 		}

@@ -14,6 +14,7 @@ import (
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
 	"pckpt/internal/nodesim"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/workload"
@@ -41,15 +42,15 @@ func main() {
 	for _, pair := range pairs {
 		var nAgg, cAgg stats.Agg
 		for seed := uint64(0); seed < uint64(*seeds); seed++ {
-			nAgg.Add(nodesim.Simulate(nodesim.Config{Policy: pair.policy, App: app, System: sys}, seed))
-			cAgg.Add(crmodel.Simulate(crmodel.Config{Model: pair.model, App: app, System: sys}, seed))
+			nAgg.Add(nodesim.Simulate(nodesim.Config{Policy: pair.policy, Config: platform.Config{App: app, System: sys}}, seed))
+			cAgg.Add(crmodel.Simulate(crmodel.Config{Model: pair.model, Config: platform.Config{App: app, System: sys}}, seed))
 		}
 		for _, row := range []struct {
 			tier string
 			agg  *stats.Agg
 		}{{"node-granular", &nAgg}, {"app-level", &cAgg}} {
 			mo := row.agg.MeanOverheads().Hours()
-			t.AddRow(pair.policy.String(), row.tier,
+			t.AddRow(pair.policy.NodeLabel(), row.tier,
 				fmt.Sprintf("%.3f", mo.Checkpoint),
 				fmt.Sprintf("%.3f", mo.Recompute),
 				fmt.Sprintf("%.3f", mo.Recovery),

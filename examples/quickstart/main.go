@@ -11,6 +11,7 @@ import (
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/workload"
 )
@@ -29,8 +30,7 @@ func main() {
 	// setup.
 	cfg := crmodel.Config{
 		Model:  crmodel.ModelP2,
-		App:    app,
-		System: failure.Titan,
+		Config: platform.Config{App: app, System: failure.Titan},
 	}
 	fmt.Printf("application: %v\n", app)
 	fmt.Printf("LM threshold θ = %.1f s, Eq.(2) σ = %.2f\n\n", cfg.Theta(), cfg.Sigma())

@@ -13,6 +13,7 @@ import (
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
+	"pckpt/internal/platform"
 	"pckpt/internal/trace"
 	"pckpt/internal/workload"
 )
@@ -34,7 +35,7 @@ func main() {
 	}
 
 	var buf trace.Buffer
-	cfg := crmodel.Config{Model: model, App: app, System: failure.Titan, Trace: &buf}
+	cfg := crmodel.Config{Model: model, Config: platform.Config{App: app, System: failure.Titan}, Trace: &buf}
 	res := crmodel.Simulate(cfg, *seed)
 
 	if *full {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pckpt/internal/failure"
+	"pckpt/internal/platform"
 	"pckpt/internal/trace"
 )
 
@@ -29,7 +30,7 @@ func TestUnmeteredHotPathZeroAllocs(t *testing.T) {
 }
 
 func TestSimulateNMeteredMatchesUnmetered(t *testing.T) {
-	cfg := Config{Model: ModelP2, App: failApp, System: failure.Titan}
+	cfg := Config{Model: ModelP2, Config: platform.Config{App: failApp, System: failure.Titan}}
 	plain := SimulateNWorkers(cfg, 8, 17, 4)
 	metered, snap := SimulateNMetered(cfg, 8, 17, 4)
 	for i := range plain.Runs() {

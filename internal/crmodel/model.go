@@ -16,114 +16,56 @@
 //	P2 — hybrid p-ckpt: LM preferred, p-ckpt fallback with LM abort
 //	     (this paper's headline model).
 //
-// A simulation run executes the application's compute/checkpoint cycle on
-// the discrete-event engine, injects the failure/prediction stream, and
-// accounts overheads per the paper's definitions (checkpoint /
-// recomputation / recovery). Every run is deterministic given its seed.
+// The model catalogue and per-model strategies live in internal/policy;
+// the platform quantities in internal/platform. This package supplies the
+// application-granularity execution of both: a simulation run executes
+// the application's compute/checkpoint cycle on the discrete-event
+// engine, injects the failure/prediction stream, and accounts overheads
+// per the paper's definitions (checkpoint / recomputation / recovery).
+// Every run is deterministic given its seed.
 package crmodel
 
 import (
 	"fmt"
 
-	"pckpt/internal/failure"
-	"pckpt/internal/iomodel"
-	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
 	"pckpt/internal/trace"
-	"pckpt/internal/workload"
 )
 
-// Model selects a C/R policy.
-type Model uint8
+// Model selects a C/R policy. It is the policy catalogue's ID type; the
+// constants below are the catalogue entries under their historical names.
+type Model = policy.ID
 
 const (
 	// ModelB is the base model: periodic checkpointing only.
-	ModelB Model = iota
+	ModelB Model = policy.B
 	// ModelM1 adds safeguard checkpointing on prediction.
-	ModelM1
+	ModelM1 Model = policy.M1
 	// ModelM2 adds live migration on prediction.
-	ModelM2
+	ModelM2 Model = policy.M2
 	// ModelP1 adds coordinated prioritized checkpointing (p-ckpt).
-	ModelP1
+	ModelP1 Model = policy.P1
 	// ModelP2 is the hybrid: LM preferred, p-ckpt fallback.
-	ModelP2
+	ModelP2 Model = policy.P2
 )
 
 // Models lists all five in presentation order.
-func Models() []Model { return []Model{ModelB, ModelM1, ModelM2, ModelP1, ModelP2} }
-
-// String implements fmt.Stringer.
-func (m Model) String() string {
-	switch m {
-	case ModelB:
-		return "B"
-	case ModelM1:
-		return "M1"
-	case ModelM2:
-		return "M2"
-	case ModelP1:
-		return "P1"
-	case ModelP2:
-		return "P2"
-	default:
-		return fmt.Sprintf("Model(%d)", uint8(m))
-	}
-}
+func Models() []Model { return policy.All() }
 
 // ModelByName parses a model name ("B", "M1", ...).
-func ModelByName(name string) (Model, error) {
-	for _, m := range Models() {
-		if m.String() == name {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("crmodel: unknown model %q", name)
-}
+func ModelByName(name string) (Model, error) { return policy.ByName(name) }
 
-// usesPrediction reports whether the model reacts to predictions.
-func (m Model) usesPrediction() bool { return m != ModelB }
-
-// usesLM reports whether the model can live-migrate.
-func (m Model) usesLM() bool { return m == ModelM2 || m == ModelP2 }
-
-// usesPckpt reports whether the model can run the p-ckpt protocol.
-func (m Model) usesPckpt() bool { return m == ModelP1 || m == ModelP2 }
-
-// usesSafeguard reports whether the model takes safeguard checkpoints.
-func (m Model) usesSafeguard() bool { return m == ModelM1 }
-
-// Config parameterises one simulation.
+// Config parameterises one simulation: the model under test, the shared
+// platform configuration, and this tier's observers.
 type Config struct {
 	// Model is the C/R policy to simulate.
 	Model Model
-	// App is the application under test (Table I entry or custom).
-	App workload.App
-	// System supplies the failure distribution (Table III entry).
-	System failure.System
-	// IO prices every transfer; nil selects the default Summit model.
-	IO *iomodel.Model
-	// LM is the migration model; the zero value selects lm.Default().
-	LM lm.Config
-	// Leads is the lead-time model; nil selects the default mixture.
-	Leads *failure.LeadTimeModel
-	// LeadScale stretches lead times (1.0 if zero) — the variability
-	// axis of Figs. 4 and 7.
-	LeadScale float64
-	// FNRate and FPRate configure the predictor. NOTE: the zero value
-	// selects the defaults (0.125 / 0.18); to simulate a perfect
-	// predictor set PerfectPredictor.
-	FNRate, FPRate float64
-	// PerfectPredictor forces FN = FP = 0.
-	PerfectPredictor bool
-	// OCIRefreshSeconds is how often the optimal checkpoint interval is
-	// re-derived from the observed failure rate; zero selects hourly.
-	OCIRefreshSeconds float64
-	// AccuracyAwareSigma enables the extension the paper's Observation 9
-	// proposes as future work: include the predictor's actual accuracy in
-	// Eq. (2)'s σ, so the LM-assisted models stop overestimating their
-	// coverage when the false-negative rate climbs. Off by default to
-	// match the published models.
-	AccuracyAwareSigma bool
+	// Config is the tier-independent platform: application, failure
+	// system, I/O pricing, migration model, predictor. Its fields are
+	// promoted (cfg.App, cfg.System, ...).
+	platform.Config
 	// Trace, when non-nil, receives the run's timeline events (see
 	// internal/trace). Leave nil for production sweeps: tracing a long
 	// run records one event per checkpoint cycle.
@@ -138,91 +80,27 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
-// withDefaults returns a copy with zero fields defaulted.
+// withDefaults returns a copy with zero platform fields defaulted.
 func (c Config) withDefaults() Config {
-	if c.IO == nil {
-		c.IO = iomodel.New(iomodel.DefaultSummit())
-	}
-	if c.LM == (lm.Config{}) {
-		c.LM = lm.Default()
-	}
-	if c.Leads == nil {
-		c.Leads = failure.DefaultLeadTimes()
-	}
-	if c.LeadScale == 0 {
-		c.LeadScale = 1
-	}
-	if c.PerfectPredictor {
-		c.FNRate, c.FPRate = 0, 0
-	} else {
-		if c.FNRate == 0 {
-			c.FNRate = failure.DefaultFNRate
-		}
-		if c.FPRate == 0 {
-			c.FPRate = failure.DefaultFPRate
-		}
-	}
-	if c.OCIRefreshSeconds == 0 {
-		c.OCIRefreshSeconds = 3600
-	}
+	c.Config = c.Config.WithDefaults()
 	return c
 }
 
 // Validate reports a configuration error, or nil.
 func (c Config) Validate() error {
-	c = c.withDefaults()
-	if err := c.App.Validate(); err != nil {
-		return err
+	if !c.Model.Valid() {
+		return fmt.Errorf("crmodel: invalid model %d", uint8(c.Model))
 	}
-	if err := c.System.Validate(); err != nil {
-		return err
-	}
-	if err := c.LM.Validate(); err != nil {
-		return err
-	}
-	switch {
-	case c.Model > ModelP2:
-		return fmt.Errorf("crmodel: invalid model %d", c.Model)
-	case c.LeadScale <= 0:
-		return fmt.Errorf("crmodel: non-positive lead scale")
-	case c.FNRate < 0 || c.FNRate > 1:
-		return fmt.Errorf("crmodel: FN rate outside [0, 1]")
-	case c.FPRate < 0 || c.FPRate >= 1:
-		return fmt.Errorf("crmodel: FP rate outside [0, 1)")
-	case c.OCIRefreshSeconds < 0:
-		return fmt.Errorf("crmodel: negative OCI refresh period")
-	}
-	return nil
-}
-
-// Theta returns the live-migration lead-time threshold for this
-// configuration's application.
-func (c Config) Theta() float64 {
-	c = c.withDefaults()
-	return c.LM.Theta(c.App.PerNodeGB())
+	return c.Config.Validate()
 }
 
 // Sigma returns the σ of Eq. (2) for this configuration: the fraction of
 // failures avoidable by LM given the (scaled) lead-time distribution and
-// the predictor's *baseline* recall. Models without LM use σ = 0.
-//
-// Deliberately, σ uses the baseline false-negative rate rather than the
-// configured one: the paper's Eq. (2) does not include the prediction
-// accuracy factor (its Observation 9 calls adding it future work), which
-// is exactly why the LM-assisted models overestimate their coverage and
-// degrade faster as the false-negative rate climbs.
+// the predictor's *baseline* recall (see platform.Config.SigmaLM for why
+// the baseline). Models without LM use σ = 0.
 func (c Config) Sigma() float64 {
-	c = c.withDefaults()
-	if !c.Model.usesLM() {
+	if !c.Model.UsesLM() {
 		return 0
 	}
-	leads := c.Leads
-	if c.LeadScale != 1 {
-		leads = leads.Scaled(c.LeadScale)
-	}
-	fn := failure.DefaultFNRate
-	if c.AccuracyAwareSigma {
-		fn = c.FNRate
-	}
-	return leads.Sigma(c.Theta(), fn)
+	return c.Config.SigmaLM()
 }

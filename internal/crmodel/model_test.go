@@ -6,6 +6,7 @@ import (
 
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
+	"pckpt/internal/platform"
 	"pckpt/internal/workload"
 )
 
@@ -45,8 +46,8 @@ func TestModelCapabilities(t *testing.T) {
 		{ModelP2, true, true, true, false},
 	}
 	for _, c := range cases {
-		if c.m.usesPrediction() != c.pred || c.m.usesLM() != c.lm ||
-			c.m.usesPckpt() != c.pckpt || c.m.usesSafeguard() != c.safeguard {
+		if c.m.UsesPrediction() != c.pred || c.m.UsesLM() != c.lm ||
+			c.m.UsesPckpt() != c.pckpt || c.m.UsesSafeguard() != c.safeguard {
 			t.Errorf("capabilities wrong for %s", c.m)
 		}
 	}
@@ -62,7 +63,7 @@ func testApp(t *testing.T, name string) workload.App {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	cfg := Config{Model: ModelP2, App: testApp(t, "POP"), System: failure.Titan}
+	cfg := Config{Model: ModelP2, Config: platform.Config{App: testApp(t, "POP"), System: failure.Titan}}
 	d := cfg.withDefaults()
 	if d.IO == nil || d.Leads == nil || d.LeadScale != 1 {
 		t.Fatal("defaults not applied")
@@ -76,7 +77,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestPerfectPredictorOverrides(t *testing.T) {
-	cfg := Config{Model: ModelP1, App: testApp(t, "POP"), System: failure.Titan, PerfectPredictor: true}
+	cfg := Config{Model: ModelP1, Config: platform.Config{App: testApp(t, "POP"), System: failure.Titan, PerfectPredictor: true}}
 	d := cfg.withDefaults()
 	if d.FNRate != 0 || d.FPRate != 0 {
 		t.Fatalf("perfect predictor not honoured: fn=%g fp=%g", d.FNRate, d.FPRate)
@@ -84,17 +85,17 @@ func TestPerfectPredictorOverrides(t *testing.T) {
 }
 
 func TestConfigValidate(t *testing.T) {
-	ok := Config{Model: ModelP2, App: testApp(t, "XGC"), System: failure.Titan}
+	ok := Config{Model: ModelP2, Config: platform.Config{App: testApp(t, "XGC"), System: failure.Titan}}
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
 	bad := []Config{
-		{Model: ModelP2, App: workload.App{}, System: failure.Titan},
-		{Model: ModelP2, App: testApp(t, "XGC"), System: failure.System{}},
-		{Model: ModelP2, App: testApp(t, "XGC"), System: failure.Titan, LeadScale: -1},
-		{Model: ModelP2, App: testApp(t, "XGC"), System: failure.Titan, FNRate: 2},
-		{Model: ModelP2, App: testApp(t, "XGC"), System: failure.Titan, FPRate: 1},
-		{Model: 99, App: testApp(t, "XGC"), System: failure.Titan},
+		{Model: ModelP2, Config: platform.Config{App: workload.App{}, System: failure.Titan}},
+		{Model: ModelP2, Config: platform.Config{App: testApp(t, "XGC"), System: failure.System{}}},
+		{Model: ModelP2, Config: platform.Config{App: testApp(t, "XGC"), System: failure.Titan, LeadScale: -1}},
+		{Model: ModelP2, Config: platform.Config{App: testApp(t, "XGC"), System: failure.Titan, FNRate: 2}},
+		{Model: ModelP2, Config: platform.Config{App: testApp(t, "XGC"), System: failure.Titan, FPRate: 1}},
+		{Model: 99, Config: platform.Config{App: testApp(t, "XGC"), System: failure.Titan}},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -105,7 +106,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestThetaMatchesLMModel(t *testing.T) {
 	app := testApp(t, "CHIMERA")
-	cfg := Config{Model: ModelP2, App: app, System: failure.Titan}
+	cfg := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan}}
 	want := lm.Default().Theta(app.PerNodeGB())
 	if got := cfg.Theta(); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("Theta = %g, want %g", got, want)
@@ -119,7 +120,7 @@ func TestThetaMatchesLMModel(t *testing.T) {
 func TestSigmaZeroWithoutLM(t *testing.T) {
 	app := testApp(t, "CHIMERA")
 	for _, m := range []Model{ModelB, ModelM1, ModelP1} {
-		if s := (Config{Model: m, App: app, System: failure.Titan}).Sigma(); s != 0 {
+		if s := (Config{Model: m, Config: platform.Config{App: app, System: failure.Titan}}).Sigma(); s != 0 {
 			t.Errorf("%s sigma = %g, want 0", m, s)
 		}
 	}
@@ -127,7 +128,7 @@ func TestSigmaZeroWithoutLM(t *testing.T) {
 
 func TestSigmaUsesBaselineRecall(t *testing.T) {
 	app := testApp(t, "CHIMERA")
-	base := Config{Model: ModelP2, App: app, System: failure.Titan}
+	base := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan}}
 	moreFN := base
 	moreFN.FNRate = 0.4
 	// Eq. (2) ignores the configured accuracy (Observation 9): σ must not
@@ -142,8 +143,8 @@ func TestSigmaUsesBaselineRecall(t *testing.T) {
 
 func TestSigmaScalesWithLeads(t *testing.T) {
 	app := testApp(t, "CHIMERA")
-	lo := Config{Model: ModelP2, App: app, System: failure.Titan, LeadScale: 0.5}
-	hi := Config{Model: ModelP2, App: app, System: failure.Titan, LeadScale: 1.5}
+	lo := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan, LeadScale: 0.5}}
+	hi := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan, LeadScale: 1.5}}
 	if lo.Sigma() >= hi.Sigma() {
 		t.Fatalf("sigma not increasing with lead scale: %g vs %g", lo.Sigma(), hi.Sigma())
 	}
@@ -151,7 +152,7 @@ func TestSigmaScalesWithLeads(t *testing.T) {
 
 func TestAccuracyAwareSigma(t *testing.T) {
 	app := testApp(t, "CHIMERA")
-	published := Config{Model: ModelP2, App: app, System: failure.Titan, FNRate: 0.4}
+	published := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan, FNRate: 0.4}}
 	aware := published
 	aware.AccuracyAwareSigma = true
 	// The published σ ignores the degraded recall; the accuracy-aware
@@ -162,7 +163,7 @@ func TestAccuracyAwareSigma(t *testing.T) {
 		t.Fatalf("accuracy-aware σ ratio %.4f, want %.4f", ratio, want)
 	}
 	// At the baseline FN rate the two variants agree.
-	base := Config{Model: ModelP2, App: app, System: failure.Titan}
+	base := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan}}
 	baseAware := base
 	baseAware.AccuracyAwareSigma = true
 	if base.Sigma() != baseAware.Sigma() {

@@ -68,7 +68,7 @@ func simulatePool(cfg Config, n int, baseSeed uint64, workers int, meter bool) (
 				if meter {
 					runCfg.Metrics = metrics.New()
 				}
-				results[i] = Simulate(runCfg, runSeed(baseSeed, i))
+				results[i] = Simulate(runCfg, RunSeed(baseSeed, i))
 				if meter {
 					snaps[i] = runCfg.Metrics.Snapshot(results[i].WallSeconds)
 				}
@@ -91,9 +91,11 @@ func simulatePool(cfg Config, n int, baseSeed uint64, workers int, meter bool) (
 	return agg, merged
 }
 
-// runSeed derives the seed for run index i from the experiment's base
+// RunSeed derives the seed for run index i from the experiment's base
 // seed with a SplitMix64-style mix, so neighbouring runs are uncorrelated.
-func runSeed(base uint64, i int) uint64 {
+// Exported so the tier-generic runner in internal/experiments draws the
+// exact same seed sequence for either simulation tier.
+func RunSeed(base uint64, i int) uint64 {
 	x := base + 0x9e3779b97f4a7c15*uint64(i+1)
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb

@@ -8,7 +8,8 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/oci"
-	"pckpt/internal/queue"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
 	"pckpt/internal/rng"
 	"pckpt/internal/sim"
 	"pckpt/internal/stats"
@@ -17,10 +18,12 @@ import (
 
 // appSim is the state of one simulation run: a single application process
 // executing compute/checkpoint cycles on the DES, an injector process
-// delivering the failure/prediction stream, and the policy of the
-// configured C/R model.
+// delivering the failure/prediction stream, and the strategy of the
+// configured C/R model (internal/policy) deciding every proactive
+// reaction against the shared lifecycle state machine.
 type appSim struct {
 	cfg    Config
+	pol    policy.Policy
 	io     *iomodel.Model
 	env    *sim.Env
 	app    *sim.Proc
@@ -28,48 +31,22 @@ type appSim struct {
 	est    *failure.RateEstimator
 	cl     *cluster.Cluster
 
-	// Precomputed platform quantities (seconds / GB).
-	total       float64 // required compute seconds
-	perNode     float64 // per-node checkpoint footprint, GB
-	nodes       int
-	tBB         float64 // synchronous BB write
-	drainDur    float64 // asynchronous BB→PFS drain
-	sigma       float64 // Eq. (2) σ (0 for B/M1/P1)
-	theta       float64 // LM lead threshold
-	singleWrite float64 // one node's uncontended PFS write (p-ckpt phase 1)
-	fullWrite   float64 // all-node contended PFS write (safeguard)
-	recoveryBB  float64 // unhandled-failure recovery (BB + replacement PFS read)
-	recoveryPFS float64 // mitigated-failure recovery (all nodes from PFS)
+	// plat holds the precomputed platform quantities (seconds / GB),
+	// derived once by internal/platform; sigma is Eq. (2)'s σ gated on
+	// the model's LM capability (0 for B/M1/P1).
+	plat  platform.Derived
+	sigma float64
 
-	// Dynamic state.
-	progress    float64 // completed computation, seconds
-	bbProgress  float64 // newest BB-staged coordinated checkpoint (-1 none)
-	pfsProgress float64 // newest fully-PFS-resident checkpoint (-1 none)
-	drainGen    int
-	curOCI      float64
+	// Dynamic state. The C/R lifecycle (fail epochs, drains, episodes,
+	// migrations, prediction/mitigation ledgers) lives in st; only the
+	// application-process state is tier-local.
+	progress float64 // completed computation, seconds
+	curOCI   float64
+	st       *policy.State
 
 	// Event plumbing: the injector appends, the app drains on interrupt.
-	pending []failure.Event
-	// failEpoch increments on every failure. A blocking activity (BB
-	// write, safeguard, episode write, recovery) that observes the epoch
-	// change mid-wait is void: the state it was saving rolled back.
-	// A counter (not a flag) so that nested handling — a recovery running
-	// inside the interrupted activity's wait — cannot mask the abort.
-	failEpoch int
-	// rescheduled is raised when a proactive action committed a full
-	// checkpoint, so the compute loop re-bases its next periodic one.
-	rescheduled bool
-	// drainsInFlight counts scheduled BB→PFS drain completions not yet
-	// fired (superseded drains count until their callback runs) — the
-	// drain queue depth the metrics layer tracks over sim time.
-	drainsInFlight int
-
-	predicted    map[int64]predInfo // outstanding true predictions
-	mitigatedAt  map[int64]float64  // failure ID → PFS-recoverable progress
-	avoided      map[int64]bool     // failure IDs neutralised by LM
-	migrations   map[int]*migration // node → in-flight migration
-	episode      *episodeState      // non-nil while a p-ckpt episode runs
-	safeguarding bool               // M1 safeguard in flight
+	pending      []failure.Event
+	safeguarding bool // M1 safeguard in flight
 
 	met runMetrics
 	res stats.RunResult
@@ -89,26 +66,6 @@ func (a *appSim) trace(kind trace.Kind, node int, detail string) {
 	})
 }
 
-type predInfo struct {
-	node   int
-	failAt float64
-	lead   float64
-}
-
-type migration struct {
-	ev      failure.Event
-	aborted bool
-}
-
-// episodeState is a live p-ckpt episode: the lead-time priority queue of
-// vulnerable nodes plus the progress the episode snapshots.
-type episodeState struct {
-	q             queue.PQ[failure.Event]
-	startProgress float64
-	committed     int
-	abandoned     bool
-}
-
 // Simulate executes one run and returns its accounting. Deterministic in
 // (cfg, seed).
 func Simulate(cfg Config, seed uint64) stats.RunResult {
@@ -118,42 +75,21 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	}
 	src := rng.New(seed)
 	a := &appSim{
-		cfg:         cfg,
-		io:          cfg.IO,
-		env:         sim.NewEnv(),
-		est:         failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
-		cl:          cluster.New(cfg.App.Nodes, math.MaxInt32),
-		total:       cfg.App.ComputeSeconds(),
-		perNode:     cfg.App.PerNodeGB(),
-		nodes:       cfg.App.Nodes,
-		bbProgress:  -1,
-		pfsProgress: -1,
-		predicted:   make(map[int64]predInfo),
-		mitigatedAt: make(map[int64]float64),
-		avoided:     make(map[int64]bool),
-		migrations:  make(map[int]*migration),
+		cfg:   cfg,
+		pol:   policy.For(cfg.Model),
+		io:    cfg.IO,
+		env:   sim.NewEnv(),
+		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
+		cl:    cluster.New(cfg.App.Nodes, math.MaxInt32),
+		plat:  cfg.Derive(),
+		sigma: cfg.Sigma(),
+		st:    policy.NewState(),
 	}
 	a.met = newRunMetrics(cfg.Metrics, cfg.Model)
 	if cfg.Metrics != nil {
 		a.observeCluster()
 	}
-	a.stream = failure.NewStream(failure.Config{
-		System:    cfg.System,
-		JobNodes:  cfg.App.Nodes,
-		Leads:     cfg.Leads,
-		LeadScale: cfg.LeadScale,
-		FNRate:    cfg.FNRate,
-		FPRate:    cfg.FPRate,
-		Metrics:   cfg.Metrics,
-	}, src.Split(1))
-	a.tBB = a.io.BBWriteTime(a.perNode)
-	a.drainDur = a.io.DrainTime(a.nodes, a.perNode)
-	a.theta = cfg.LM.Theta(a.perNode)
-	a.sigma = cfg.Sigma()
-	a.singleWrite = a.io.SingleNodePFSWriteTime(a.perNode)
-	a.fullWrite = a.io.PFSWriteTime(a.nodes, a.perNode)
-	a.recoveryBB = math.Max(a.io.BBReadTime(a.perNode), a.io.SingleNodePFSReadTime(a.perNode))
-	a.recoveryPFS = a.io.PFSReadTime(a.nodes, a.perNode)
+	a.stream = failure.NewStream(cfg.StreamConfig(cfg.Metrics), src.Split(1))
 
 	a.app = a.env.Spawn("app", a.run)
 	a.env.Spawn("injector", a.inject)
@@ -165,15 +101,15 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 // rate estimate, per Eq. (1) (σ=0) or Eq. (2).
 func (a *appSim) refreshOCI() {
 	rate := a.est.Rate(a.env.Now())
-	a.curOCI = oci.FromJobRate(a.tBB, rate, a.sigma)
+	a.curOCI = oci.FromJobRate(a.plat.BBWrite, rate, a.sigma)
 }
 
 // run is the application process: compute OCI seconds, checkpoint to BB,
 // repeat until the required computation completes.
 func (a *appSim) run(p *sim.Proc) {
-	for a.progress < a.total {
+	for a.progress < a.plat.ComputeSeconds {
 		a.computeChunk(p)
-		if a.progress >= a.total {
+		if a.progress >= a.plat.ComputeSeconds {
 			break
 		}
 		a.bbCheckpoint(p)
@@ -187,7 +123,7 @@ func (a *appSim) run(p *sim.Proc) {
 // block inside the handlers).
 func (a *appSim) computeChunk(p *sim.Proc) {
 	a.refreshOCI()
-	target := math.Min(a.progress+a.curOCI, a.total)
+	target := math.Min(a.progress+a.curOCI, a.plat.ComputeSeconds)
 	// Guard the Sprintf, not just the Record: the hot path must not
 	// format (or allocate) when tracing is off.
 	if a.cfg.Trace != nil {
@@ -201,13 +137,12 @@ func (a *appSim) computeChunk(p *sim.Proc) {
 			return
 		}
 		a.handleEvents(p)
-		if a.rescheduled {
+		if a.st.TakeRescheduled() {
 			// A proactive action committed a full checkpoint; re-base
 			// the periodic schedule on the fresh interval (the paper's
 			// adaptive checkpoint schedule).
-			a.rescheduled = false
 			a.refreshOCI()
-			target = math.Min(a.progress+a.curOCI, a.total)
+			target = math.Min(a.progress+a.curOCI, a.plat.ComputeSeconds)
 		}
 	}
 }
@@ -216,7 +151,7 @@ func (a *appSim) computeChunk(p *sim.Proc) {
 // checkpoint and launches the asynchronous PFS drain.
 func (a *appSim) bbCheckpoint(p *sim.Proc) {
 	began := a.env.Now()
-	if !a.blockedWait(p, a.tBB, &a.res.Overheads.Checkpoint) {
+	if !a.blockedWait(p, a.plat.BBWrite, &a.res.Overheads.Checkpoint) {
 		// A failure voided the write and rolled progress back; resume
 		// computing, the next cycle will checkpoint the redone state.
 		a.met.bbAborted.Inc()
@@ -224,20 +159,18 @@ func (a *appSim) bbCheckpoint(p *sim.Proc) {
 	}
 	a.met.bbWrite.Observe(a.env.Now() - began)
 	a.res.Checkpoints++
-	a.bbProgress = a.progress
+	a.st.CommitBB(a.progress)
 	a.trace(trace.BBWrite, -1, "")
 	a.cl.RecordBBCheckpointAll(a.progress)
-	a.drainGen++
-	gen := a.drainGen
 	captured := a.progress
-	a.drainsInFlight++
-	a.met.drainDepth.Set(a.env.Now(), float64(a.drainsInFlight))
-	a.env.At(a.drainDur, func() {
-		a.drainsInFlight--
-		a.met.drainDepth.Set(a.env.Now(), float64(a.drainsInFlight))
+	gen, depth := a.st.BeginDrain()
+	a.met.drainDepth.Set(a.env.Now(), float64(depth))
+	a.env.At(a.plat.Drain, func() {
+		depth, current := a.st.FinishDrain(gen)
+		a.met.drainDepth.Set(a.env.Now(), float64(depth))
 		// The drain completes unless a newer checkpoint superseded it
 		// (each BB write restarts the drain of the newest data).
-		if gen == a.drainGen {
+		if current {
 			a.commitFullPFS(captured)
 			a.trace(trace.DrainDone, -1, "")
 		}
@@ -249,7 +182,7 @@ func (a *appSim) bbCheckpoint(p *sim.Proc) {
 // false if a failure voided the activity before dur fully elapsed, true
 // on completion.
 func (a *appSim) blockedWait(p *sim.Proc, dur float64, bucket *float64) bool {
-	epoch := a.failEpoch
+	epoch := a.st.Epoch()
 	remaining := dur
 	for remaining > 0 {
 		start := a.env.Now()
@@ -261,7 +194,7 @@ func (a *appSim) blockedWait(p *sim.Proc, dur float64, bucket *float64) bool {
 			return true
 		}
 		a.handleEvents(p)
-		if a.failEpoch != epoch {
+		if a.st.Epoch() != epoch {
 			return false
 		}
 	}
@@ -282,10 +215,11 @@ func (a *appSim) handleEvents(p *sim.Proc) {
 	}
 }
 
-// onPrediction applies the model's proactive policy.
+// onPrediction records the prediction, marks the node vulnerable, and
+// executes whatever proactive action the model's strategy decides.
 func (a *appSim) onPrediction(p *sim.Proc, ev failure.Event) {
 	if ev.Kind == failure.KindPrediction {
-		a.predicted[ev.ID] = predInfo{node: ev.Node, failAt: ev.FailTime, lead: ev.Lead}
+		a.st.RecordPrediction(ev.ID, policy.Prediction{Node: ev.Node, FailAt: ev.FailTime, Lead: ev.Lead})
 		if a.cfg.Trace != nil {
 			a.trace(trace.Prediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
 		}
@@ -306,30 +240,16 @@ func (a *appSim) onPrediction(p *sim.Proc, ev failure.Event) {
 			}
 		})
 	}
-	switch {
-	case a.cfg.Model.usesPckpt():
-		if a.episode != nil {
-			if !a.episode.abandoned {
-				// Phase 1 in progress: the new vulnerable node joins the
-				// node-local priority queue (lower lead = higher
-				// priority). Abandoned episodes accept no work; the
-				// prediction goes unserved, as it would on a real system
-				// mid-recovery.
-				a.episode.q.Push(ev.FailTime, ev)
-			}
-			return
-		}
-		if a.cfg.Model == ModelP2 && ev.Lead >= a.theta && a.migrations[ev.Node] == nil {
-			a.startMigration(ev)
-			return
-		}
+	switch a.pol.OnPrediction(a.st, ev.Node, ev.Lead, a.plat.Theta) {
+	case policy.ActJoinEpisode:
+		// Phase 1 in progress: the new vulnerable node joins the
+		// node-local priority queue (lower lead = higher priority).
+		a.st.Episode().Q.Push(ev.FailTime, ev)
+	case policy.ActMigrate:
+		a.startMigration(ev)
+	case policy.ActStartEpisode:
 		a.pckptEpisode(p, ev)
-	case a.cfg.Model.usesLM():
-		if ev.Lead >= a.theta && a.migrations[ev.Node] == nil {
-			a.startMigration(ev)
-		}
-		// Insufficient lead: M2 has no fallback; the failure will strike.
-	case a.cfg.Model.usesSafeguard():
+	case policy.ActSafeguard:
 		a.safeguard(p)
 	}
 }
@@ -338,48 +258,28 @@ func (a *appSim) onPrediction(p *sim.Proc, ev failure.Event) {
 // completion is a scheduled callback. Lead ≥ θ guarantees completion
 // before the failure unless a p-ckpt episode aborts the migration first.
 func (a *appSim) startMigration(ev failure.Event) {
-	m := &migration{ev: ev}
-	a.migrations[ev.Node] = m
+	m := a.st.StartMigration(ev)
 	if a.cfg.Trace != nil {
-		a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.theta))
+		a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.plat.Theta))
 	}
 	a.cl.MarkMigrating(ev.Node)
-	a.env.At(a.theta, func() {
-		if m.aborted {
+	a.env.At(a.plat.Theta, func() {
+		if !a.st.FinishMigration(m) {
 			return
 		}
-		delete(a.migrations, ev.Node)
 		a.res.Migrations++
 		a.trace(trace.MigrationDone, ev.Node, "")
 		// The application dilates slightly while migrating.
-		a.res.Overheads.Checkpoint += a.cfg.LM.DilationSeconds(a.perNode)
+		a.res.Overheads.Checkpoint += a.cfg.LM.DilationSeconds(a.plat.PerNodeGB)
 		if a.cl.Node(ev.Node).State == cluster.Migrating {
 			a.cl.MarkHealthy(ev.Node)
 		}
 		if ev.Kind == failure.KindPrediction {
-			a.avoided[ev.ID] = true
+			a.st.MarkAvoided(ev.ID)
 			a.res.Avoided++
-			delete(a.predicted, ev.ID)
+			a.st.ForgetPrediction(ev.ID)
 		}
 	})
-}
-
-// abortMigrations cancels every in-flight migration (a p-ckpt request
-// supersedes them per the Fig. 5 state diagram) and enqueues their nodes
-// into the episode's priority queue.
-func (a *appSim) abortMigrations() {
-	for node, m := range a.migrations {
-		m.aborted = true
-		delete(a.migrations, node)
-		a.res.AbortedMigrations++
-		a.trace(trace.MigrationAborted, node, "superseded by p-ckpt")
-		if a.cl.Node(node).State == cluster.Migrating {
-			a.cl.MarkVulnerable(node, m.ev.FailTime)
-		}
-		if a.episode != nil {
-			a.episode.q.Push(m.ev.FailTime, m.ev)
-		}
-	}
 }
 
 // pckptEpisode runs one coordinated prioritized checkpoint: phase 1
@@ -391,50 +291,58 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 	a.res.ProactiveCkpts++
 	a.trace(trace.EpisodeStart, first.Node, "")
 	epBegin := a.env.Now()
-	ep := &episodeState{startProgress: a.progress}
-	a.episode = ep
-	defer func() { a.episode = nil }()
-	ep.q.Push(first.FailTime, first)
-	a.abortMigrations()
-	for ep.q.Len() > 0 && !ep.abandoned {
-		_, ev := ep.q.Pop()
-		if !a.blockedWait(p, a.singleWrite, &a.res.Overheads.Checkpoint) {
+	ep := a.st.BeginEpisode(a.progress)
+	defer a.st.EndEpisode()
+	ep.Q.Push(first.FailTime, first)
+	// A p-ckpt request supersedes in-flight migrations (Fig. 5): abort
+	// them and requeue their nodes as vulnerable.
+	a.st.AbortMigrations(func(ev failure.Event) {
+		a.res.AbortedMigrations++
+		a.trace(trace.MigrationAborted, ev.Node, "superseded by p-ckpt")
+		if a.cl.Node(ev.Node).State == cluster.Migrating {
+			a.cl.MarkVulnerable(ev.Node, ev.FailTime)
+		}
+		ep.Q.Push(ev.FailTime, ev)
+	})
+	for ep.Q.Len() > 0 && !ep.Abandoned {
+		_, ev := ep.Q.Pop()
+		if !a.blockedWait(p, a.plat.SingleNodePFSWrite, &a.res.Overheads.Checkpoint) {
 			break
 		}
-		ep.committed++
+		ep.Committed++
 		a.met.commitLat.Observe(a.env.Now() - epBegin)
 		a.trace(trace.VulnerableCommit, ev.Node, "")
-		a.cl.RecordPFSCheckpoint(ev.Node, ep.startProgress)
+		a.cl.RecordPFSCheckpoint(ev.Node, ep.StartProgress)
 		if a.cl.Node(ev.Node).State == cluster.Vulnerable {
 			a.cl.MarkHealthy(ev.Node)
 		}
 		if ev.Kind == failure.KindPrediction && a.env.Now() <= ev.FailTime {
 			// The vulnerable node's state reached the PFS before its
 			// failure: the failure is mitigated.
-			a.mitigatedAt[ev.ID] = ep.startProgress
+			a.st.Mitigate(ev.ID, ep.StartProgress)
 			a.met.leadConsumed.Observe(a.env.Now() - (ev.FailTime - ev.Lead))
 			a.met.leadMargin.Observe(ev.FailTime - a.env.Now())
 		}
 	}
-	if ep.abandoned {
+	if ep.Abandoned {
 		a.met.episodesAbandoned.Inc()
 		return
 	}
 	// Phase 2: pfs-commit broadcast; healthy nodes write together.
-	healthy := a.nodes - ep.committed
+	healthy := a.plat.Nodes - ep.Committed
 	if healthy > 0 {
-		tr := a.io.PFSWriteTransfer(healthy, a.perNode)
+		tr := a.io.PFSWriteTransfer(healthy, a.plat.PerNodeGB)
 		if !a.blockedWait(p, tr.Seconds, &a.res.Overheads.Checkpoint) {
 			a.met.episodesAbandoned.Inc()
 			return
 		}
 		a.met.pfsGBs.Observe(tr.GBs)
 	}
-	a.commitFullPFS(ep.startProgress)
-	a.rescheduled = true
+	a.commitFullPFS(ep.StartProgress)
+	a.st.MarkRescheduled()
 	a.met.episodeDur.Observe(a.env.Now() - epBegin)
 	if a.cfg.Trace != nil {
-		a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.env.Now()-epBegin, ep.committed))
+		a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.env.Now()-epBegin, ep.Committed))
 	}
 }
 
@@ -450,33 +358,32 @@ func (a *appSim) safeguard(p *sim.Proc) {
 	a.trace(trace.SafeguardStart, -1, "")
 	began := a.env.Now()
 	startProgress := a.progress
-	if !a.blockedWait(p, a.fullWrite, &a.res.Overheads.Checkpoint) {
+	if !a.blockedWait(p, a.plat.FullPFSWrite, &a.res.Overheads.Checkpoint) {
 		return // the failure won the race (or rolled us back)
 	}
 	a.commitFullPFS(startProgress)
-	a.rescheduled = true
+	a.st.MarkRescheduled()
 	a.trace(trace.SafeguardEnd, -1, "")
 	now := a.env.Now()
 	a.met.safeguardDur.Observe(now - began)
-	if a.fullWrite > 0 {
-		a.met.pfsGBs.Observe(float64(a.nodes) * a.perNode / a.fullWrite)
+	if a.plat.FullPFSWrite > 0 {
+		a.met.pfsGBs.Observe(float64(a.plat.Nodes) * a.plat.PerNodeGB / a.plat.FullPFSWrite)
 	}
-	for id, pi := range a.predicted {
-		if pi.failAt >= now {
+	a.st.EachPrediction(func(id int64, pi policy.Prediction) {
+		if pi.FailAt >= now {
 			// The safeguard committed everyone's state before this
 			// pending failure: mitigated.
-			a.mitigatedAt[id] = startProgress
-			a.met.leadConsumed.Observe(now - (pi.failAt - pi.lead))
-			a.met.leadMargin.Observe(pi.failAt - now)
+			a.st.Mitigate(id, startProgress)
+			a.met.leadConsumed.Observe(now - (pi.FailAt - pi.Lead))
+			a.met.leadMargin.Observe(pi.FailAt - now)
 		}
-	}
+	})
 }
 
 // commitFullPFS records a full-application checkpoint at progress q as
 // resident on the PFS.
 func (a *appSim) commitFullPFS(q float64) {
-	if q > a.pfsProgress {
-		a.pfsProgress = q
+	if a.st.CommitPFS(q) {
 		a.cl.RecordPFSCheckpointAll(q)
 	}
 }
@@ -489,42 +396,24 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 	if ev.Lead > 0 {
 		a.res.Predicted++
 	}
-	delete(a.predicted, ev.ID)
-	if m := a.migrations[ev.Node]; m != nil {
-		// The node died mid-migration (only possible for a second,
-		// unpredicted failure, or an under-lead race): the migration is
-		// void.
-		m.aborted = true
-		delete(a.migrations, ev.Node)
+	out := a.pol.OnFailure(a.st, ev)
+	if out.MigrationAborted {
 		a.res.AbortedMigrations++
 	}
-	if a.episode != nil {
-		a.episode.abandoned = true
-	}
-	a.failEpoch++
 	a.cl.Fail(ev.Node)
-
-	mitQ, mitigated := a.mitigatedAt[ev.ID]
-	if mitigated {
-		delete(a.mitigatedAt, ev.ID)
+	if out.Mitigated {
 		a.res.Mitigated++
 	}
 	// Best restart point: the proactive commit that mitigated this
 	// failure, or the newest consistent periodic checkpoint — whichever
 	// is fresher.
-	q := a.cl.RecoverableProgress(ev.Node)
-	recovery := a.recoveryBB
-	fullPFSRestore := false
-	if mitigated && mitQ >= q {
-		q = mitQ
+	q, fullPFSRestore := policy.BestRestart(a.cl.RecoverableProgress(ev.Node), out)
+	recovery := a.plat.RecoveryBB
+	if fullPFSRestore {
 		// Recovering from a proactive checkpoint pulls every node's
 		// state from the PFS (Sec. II), which is what makes recovery
 		// visible in P1's overhead breakdown.
-		recovery = a.recoveryPFS
-		fullPFSRestore = true
-	}
-	if q < 0 {
-		q = 0 // no checkpoint yet: restart from the beginning
+		recovery = a.plat.RecoveryPFS
 	}
 	loss := 0.0
 	if a.progress > q {
@@ -534,11 +423,11 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 	}
 	a.met.recomputeLoss.Observe(loss)
 	if fullPFSRestore && recovery > 0 {
-		a.met.pfsGBs.Observe(float64(a.nodes) * a.perNode / recovery)
+		a.met.pfsGBs.Observe(float64(a.plat.Nodes) * a.plat.PerNodeGB / recovery)
 	}
 	if a.cfg.Trace != nil {
 		outcome := "unhandled"
-		if mitigated {
+		if out.Mitigated {
 			outcome = "mitigated"
 		}
 		a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
@@ -572,13 +461,12 @@ func (a *appSim) inject(p *sim.Proc) {
 		}
 		switch ev.Kind {
 		case failure.KindFailure:
-			if a.avoided[ev.ID] {
-				delete(a.avoided, ev.ID)
+			if a.st.ConsumeAvoided(ev.ID) {
 				continue // live migration emptied the node in time
 			}
 			a.est.Observe()
 		default:
-			if !a.cfg.Model.usesPrediction() {
+			if !a.cfg.Model.UsesPrediction() {
 				continue // model B ignores the predictor entirely
 			}
 		}

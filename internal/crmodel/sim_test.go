@@ -6,6 +6,7 @@ import (
 
 	"pckpt/internal/failure"
 	"pckpt/internal/iomodel"
+	"pckpt/internal/platform"
 	"pckpt/internal/workload"
 )
 
@@ -26,7 +27,7 @@ var smallApp = workload.App{Name: "tiny", Nodes: 16, TotalCkptGB: 160, ComputeHo
 var failApp = workload.App{Name: "faily", Nodes: 2000, TotalCkptGB: 2000, ComputeHours: 200}
 
 func TestSimulateDeterministic(t *testing.T) {
-	cfg := Config{Model: ModelP2, App: failApp, System: failure.Titan}
+	cfg := Config{Model: ModelP2, Config: platform.Config{App: failApp, System: failure.Titan}}
 	a := Simulate(cfg, 12345)
 	b := Simulate(cfg, 12345)
 	if a != b {
@@ -39,7 +40,7 @@ func TestSimulateDeterministic(t *testing.T) {
 }
 
 func TestFailureFreeRunHasOnlyCheckpointOverhead(t *testing.T) {
-	cfg := Config{Model: ModelB, App: smallApp, System: quietSystem}
+	cfg := Config{Model: ModelB, Config: platform.Config{App: smallApp, System: quietSystem}}
 	r := Simulate(cfg, 1)
 	if r.Failures != 0 || r.Recompute != 0 || r.Recovery != 0 {
 		t.Fatalf("quiet system produced failure work: %+v", r)
@@ -61,7 +62,7 @@ func TestFailureFreeRunHasOnlyCheckpointOverhead(t *testing.T) {
 }
 
 func TestModelBIgnoresPredictions(t *testing.T) {
-	cfg := Config{Model: ModelB, App: smallApp, System: failure.Titan}
+	cfg := Config{Model: ModelB, Config: platform.Config{App: smallApp, System: failure.Titan}}
 	r := Simulate(cfg, 7)
 	if r.ProactiveCkpts != 0 || r.Migrations != 0 || r.Avoided != 0 || r.Mitigated != 0 {
 		t.Fatalf("base model took proactive actions: %+v", r)
@@ -72,7 +73,7 @@ func TestP1MitigatesWithPerfectPredictor(t *testing.T) {
 	// Tiny footprint → p-ckpt latency ≪ every lead; perfect predictor →
 	// every failure predicted. All failures must be mitigated.
 	app := workload.App{Name: "micro", Nodes: 8, TotalCkptGB: 0.8, ComputeHours: 2000}
-	cfg := Config{Model: ModelP1, App: app, System: failure.Titan, PerfectPredictor: true}
+	cfg := Config{Model: ModelP1, Config: platform.Config{App: app, System: failure.Titan, PerfectPredictor: true}}
 	var failures, mitigated int
 	for seed := uint64(0); seed < 10; seed++ {
 		r := Simulate(cfg, seed)
@@ -89,7 +90,7 @@ func TestP1MitigatesWithPerfectPredictor(t *testing.T) {
 
 func TestM2AvoidsWithPerfectPredictor(t *testing.T) {
 	app := workload.App{Name: "micro", Nodes: 8, TotalCkptGB: 0.8, ComputeHours: 2000}
-	cfg := Config{Model: ModelM2, App: app, System: failure.Titan, PerfectPredictor: true}
+	cfg := Config{Model: ModelM2, Config: platform.Config{App: app, System: failure.Titan, PerfectPredictor: true}}
 	var struck, avoided int
 	for seed := uint64(0); seed < 10; seed++ {
 		r := Simulate(cfg, seed)
@@ -105,7 +106,7 @@ func TestM2AvoidsWithPerfectPredictor(t *testing.T) {
 }
 
 func TestRecomputeAccountedOnFailure(t *testing.T) {
-	cfg := Config{Model: ModelB, App: failApp, System: failure.Titan}
+	cfg := Config{Model: ModelB, Config: platform.Config{App: failApp, System: failure.Titan}}
 	sawLoss := false
 	for seed := uint64(0); seed < 20 && !sawLoss; seed++ {
 		r := Simulate(cfg, seed)
@@ -126,7 +127,7 @@ func TestRecomputeAccountedOnFailure(t *testing.T) {
 
 func TestWallTimeExceedsCompute(t *testing.T) {
 	for _, m := range Models() {
-		cfg := Config{Model: m, App: smallApp, System: failure.Titan}
+		cfg := Config{Model: m, Config: platform.Config{App: smallApp, System: failure.Titan}}
 		r := Simulate(cfg, 3)
 		if r.WallSeconds < smallApp.ComputeSeconds() {
 			t.Errorf("%s: wall %.0f below compute %.0f", m, r.WallSeconds, smallApp.ComputeSeconds())
@@ -138,7 +139,7 @@ func TestP2UsesBothMechanisms(t *testing.T) {
 	// CHIMERA's θ≈41 s sits mid-distribution, so P2 must exercise both
 	// LM (long leads) and p-ckpt (short leads).
 	app := testApp(t, "CHIMERA")
-	cfg := Config{Model: ModelP2, App: app, System: failure.Titan}
+	cfg := Config{Model: ModelP2, Config: platform.Config{App: app, System: failure.Titan}}
 	var avoided, mitigated int
 	for seed := uint64(0); seed < 30; seed++ {
 		r := Simulate(cfg, seed)
@@ -151,7 +152,7 @@ func TestP2UsesBothMechanisms(t *testing.T) {
 }
 
 func TestP1NeverMigrates(t *testing.T) {
-	cfg := Config{Model: ModelP1, App: testApp(t, "CHIMERA"), System: failure.Titan}
+	cfg := Config{Model: ModelP1, Config: platform.Config{App: testApp(t, "CHIMERA"), System: failure.Titan}}
 	for seed := uint64(0); seed < 5; seed++ {
 		r := Simulate(cfg, seed)
 		if r.Migrations != 0 || r.Avoided != 0 {
@@ -161,14 +162,14 @@ func TestP1NeverMigrates(t *testing.T) {
 }
 
 func TestM1NeverMigratesAndP2Aborts(t *testing.T) {
-	cfgM1 := Config{Model: ModelM1, App: testApp(t, "CHIMERA"), System: failure.Titan}
+	cfgM1 := Config{Model: ModelM1, Config: platform.Config{App: testApp(t, "CHIMERA"), System: failure.Titan}}
 	if r := Simulate(cfgM1, 11); r.Migrations != 0 {
 		t.Fatalf("M1 migrated: %+v", r)
 	}
 	// Under a failure storm, migrations overlap short-lead predictions
 	// often enough that the LM-abort path must fire.
 	stormApp := workload.App{Name: "stormy", Nodes: 64, TotalCkptGB: 64 * 200, ComputeHours: 4}
-	cfgP2 := Config{Model: ModelP2, App: stormApp, System: stormSystem}
+	cfgP2 := Config{Model: ModelP2, Config: platform.Config{App: stormApp, System: stormSystem}}
 	aborted := 0
 	for seed := uint64(0); seed < 20; seed++ {
 		aborted += Simulate(cfgP2, seed).AbortedMigrations
@@ -185,7 +186,7 @@ func TestOverheadReductionOrderingCHIMERA(t *testing.T) {
 	const runs = 300
 	totals := map[Model]float64{}
 	for _, m := range Models() {
-		agg := SimulateN(Config{Model: m, App: app, System: failure.Titan}, runs, 99)
+		agg := SimulateN(Config{Model: m, Config: platform.Config{App: app, System: failure.Titan}}, runs, 99)
 		totals[m] = agg.MeanOverheads().Total()
 	}
 	if !(totals[ModelP2] < totals[ModelP1] && totals[ModelP1] < totals[ModelM2] && totals[ModelM2] < totals[ModelM1]) {
@@ -202,7 +203,7 @@ func TestOverheadReductionOrderingCHIMERA(t *testing.T) {
 }
 
 func TestSimulateNMatchesSequential(t *testing.T) {
-	cfg := Config{Model: ModelP2, App: smallApp, System: failure.Titan}
+	cfg := Config{Model: ModelP2, Config: platform.Config{App: smallApp, System: failure.Titan}}
 	par := SimulateNWorkers(cfg, 16, 9, 8)
 	seq := SimulateNWorkers(cfg, 16, 9, 1)
 	if par.N() != 16 || seq.N() != 16 {
@@ -241,7 +242,7 @@ func TestFTRatiosMatchPaperTable(t *testing.T) {
 	}
 	for _, c := range checks {
 		app := testApp(t, c.app)
-		agg := SimulateN(Config{Model: c.model, App: app, System: failure.Titan}, 150, 4242)
+		agg := SimulateN(Config{Model: c.model, Config: platform.Config{App: app, System: failure.Titan}}, 150, 4242)
 		if ft := agg.MeanFTRatio(); ft < c.lo || ft > c.hi {
 			t.Errorf("%s %s FT = %.3f, want in [%.2f, %.2f]", c.app, c.model, ft, c.lo, c.hi)
 		}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pckpt/internal/failure"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/tablefmt"
+	"pckpt/internal/workload"
+)
+
+// CrossValidation runs every catalogue entry the node-granular tier
+// implements through BOTH simulation tiers on a matched platform
+// configuration and identical seed sequences, and reports how closely
+// the tiers agree — the repo's standing check that the node-granular
+// simulator tells the same story as the paper-style application-level
+// model. Event counts (failures, predicted) must agree exactly; wall
+// time and overhead accounting within a few percent.
+func CrossValidation(p Params) Result {
+	p = p.withDefaults()
+	// A small busy configuration: big enough to exercise episodes,
+	// migrations, and recoveries across seeds, small enough that the
+	// node-granular tier (one process per node) stays fast.
+	app := workload.App{Name: "crossval-48", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24}
+	sys := failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48}
+	plat := platform.Config{App: app, System: sys}
+	runs := p.Runs / 16
+	if runs < 6 {
+		runs = 6
+	}
+
+	t := tablefmt.NewTable("Model", "Tier", "Failures", "Mitigated", "Avoided", "Wall(h)", "Total ovh(h)")
+	values := map[string]float64{}
+	appT, nodeT := AppTier(), NodeTier()
+	for _, id := range policy.All() {
+		if !nodeT.Supports(id) {
+			continue
+		}
+		aAgg := SimulateTierN(appT, id, plat, runs, p.Seed, p.Workers)
+		nAgg := SimulateTierN(nodeT, id, plat, runs, p.Seed, p.Workers)
+		var aF, nF, aM, nM, aA, nA int
+		for i, ar := range aAgg.Runs() {
+			nr := nAgg.Runs()[i]
+			aF += ar.Failures
+			nF += nr.Failures
+			aM += ar.Mitigated
+			nM += nr.Mitigated
+			aA += ar.Avoided
+			nA += nr.Avoided
+		}
+		for _, row := range []struct {
+			tier      string
+			f, m, av  int
+			wall, tot float64
+		}{
+			{appT.Name, aF, aM, aA, aAgg.MeanWallSeconds(), aAgg.MeanOverheads().Total()},
+			{nodeT.Name, nF, nM, nA, nAgg.MeanWallSeconds(), nAgg.MeanOverheads().Total()},
+		} {
+			t.AddRow(id.String(), row.tier,
+				fmt.Sprint(row.f), fmt.Sprint(row.m), fmt.Sprint(row.av),
+				fmt.Sprintf("%.2f", row.wall/3600), fmt.Sprintf("%.2f", row.tot/3600))
+		}
+		values[id.String()+"/failures-diff"] = float64(aF - nF)
+		values[id.String()+"/mitigated-diff"] = float64(aM - nM)
+		values[id.String()+"/avoided-diff"] = float64(aA - nA)
+		wallDiv := 0.0
+		if aw := aAgg.MeanWallSeconds(); aw > 0 {
+			wallDiv = (nAgg.MeanWallSeconds() - aw) / aw
+		}
+		values[id.String()+"/wall-divergence"] = wallDiv
+	}
+	text := t.String() + fmt.Sprintf("\n(%d matched seeds per model; both tiers share internal/platform quantities and the internal/policy catalogue)\n", runs)
+	return Result{ID: "crossval", Title: "Cross-validation: app-level vs node-granular tier on matched seeds", Text: text, Values: values}
+}

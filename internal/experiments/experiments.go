@@ -14,6 +14,7 @@ import (
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
 	"pckpt/internal/metrics"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/workload"
 )
@@ -97,6 +98,7 @@ func All() []Def {
 		{"obs9fix", "Extension: accuracy-aware σ in Eq. (2) (paper's future work)", Obs9Fix},
 		{"globalview", "Extension: p-ckpt with a global system view (paper's out-of-scope item)", GlobalView},
 		{"analytic", "Observation 8: analytical LM vs p-ckpt model (Eqs. 4-8)", Analytic},
+		{"crossval", "Cross-validation: app-level vs node-granular tier on matched seeds", CrossValidation},
 	}
 }
 
@@ -159,11 +161,13 @@ func modelSet(p Params, app workload.App, sys failure.System, leadScale float64,
 	for _, m := range models {
 		label := fmt.Sprintf("%s|%s|%s|ls=%.3f|fn=%.3f", app.Name, sys.Name, m, leadScale, fnRate)
 		cfg := crmodel.Config{
-			Model:     m,
-			App:       app,
-			System:    sys,
-			LeadScale: leadScale,
-			FNRate:    fnRate,
+			Model: m,
+			Config: platform.Config{
+				App:       app,
+				System:    sys,
+				LeadScale: leadScale,
+				FNRate:    fnRate,
+			},
 		}
 		out[m] = runConfig(p, cfg, label)
 	}

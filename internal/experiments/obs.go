@@ -8,6 +8,7 @@ import (
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 )
@@ -63,11 +64,13 @@ func Obs9Fix(p Params) Result {
 		for _, fn := range obs9FNRates {
 			for _, aware := range []bool{false, true} {
 				cfg := crmodel.Config{
-					Model:              crmodel.ModelP2,
-					App:                app,
-					System:             failure.Titan,
-					FNRate:             fn,
-					AccuracyAwareSigma: aware,
+					Model: crmodel.ModelP2,
+					Config: platform.Config{
+						App:                app,
+						System:             failure.Titan,
+						FNRate:             fn,
+						AccuracyAwareSigma: aware,
+					},
 				}
 				variant := "published"
 				if aware {
@@ -114,7 +117,7 @@ func Analytic(p Params) Result {
 	// model's verdict at α = 3.
 	at := tablefmt.NewTable("App", "θ (s)", "σ", "β(α=3)", "p-ckpt wins at 50/50?")
 	for _, app := range p.apps() {
-		cfg := crmodel.Config{Model: crmodel.ModelP2, App: app, System: failure.Titan, LM: lm.Default()}
+		cfg := crmodel.Config{Model: crmodel.ModelP2, Config: platform.Config{App: app, System: failure.Titan, LM: lm.Default()}}
 		sigma := cfg.Sigma()
 		theta := cfg.Theta()
 		if sigma >= analytic.SigmaMax {

@@ -6,6 +6,7 @@ import (
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
+	"pckpt/internal/platform"
 	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 )
@@ -69,9 +70,9 @@ func Fig6c(p Params) Result {
 	values := map[string]float64{}
 	for _, app := range apps {
 		label := fmt.Sprintf("fig6c|%s|base", app.Name)
-		baseAgg := runConfig(p, crmodel.Config{Model: crmodel.ModelB, App: app, System: failure.Titan}, label)
+		baseAgg := runConfig(p, crmodel.Config{Model: crmodel.ModelB, Config: platform.Config{App: app, System: failure.Titan}}, label)
 		base := baseAgg.MeanOverheads()
-		p1Agg := runConfig(p, crmodel.Config{Model: crmodel.ModelP1, App: app, System: failure.Titan}, fmt.Sprintf("fig6c|%s|P1", app.Name))
+		p1Agg := runConfig(p, crmodel.Config{Model: crmodel.ModelP1, Config: platform.Config{App: app, System: failure.Titan}}, fmt.Sprintf("fig6c|%s|P1", app.Name))
 		addRow := func(name string, agg *stats.Agg) float64 {
 			mo := agg.MeanOverheads()
 			ck, rc, _, tot := stats.ReductionBreakdown(base, mo)
@@ -83,7 +84,7 @@ func Fig6c(p Params) Result {
 		addRow("B", baseAgg)
 		values[app.Name+"/P1/reduction-pct"] = addRow("P1", p1Agg)
 		for _, alpha := range fig6cAlphas {
-			cfg := crmodel.Config{Model: crmodel.ModelM2, App: app, System: failure.Titan, LM: lm.Default().WithAlpha(alpha)}
+			cfg := crmodel.Config{Model: crmodel.ModelM2, Config: platform.Config{App: app, System: failure.Titan, LM: lm.Default().WithAlpha(alpha)}}
 			agg := runConfig(p, cfg, fmt.Sprintf("fig6c|%s|M2-%.1f", app.Name, alpha))
 			name := fmt.Sprintf("M2-%gx", alpha)
 			values[fmt.Sprintf("%s/M2-%g/reduction-pct", app.Name, alpha)] = addRow(name, agg)

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sync"
+
+	"pckpt/internal/crmodel"
+	"pckpt/internal/nodesim"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/stats"
+)
+
+// Tier is one simulation granularity the experiment runner can drive: the
+// application-level model (internal/crmodel) or the node-granular
+// simulator (internal/nodesim). Both consume the shared platform
+// configuration and the policy catalogue, so a sweep is written once and
+// runs at either granularity.
+type Tier struct {
+	// Name labels the tier in tables ("app" / "node").
+	Name string
+	// Supports reports whether the tier implements the catalogue entry
+	// (the node tier implements the subset with a NodeLabel).
+	Supports func(id policy.ID) bool
+	// Simulate runs one seed of the model on the shared platform config.
+	Simulate func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult
+}
+
+// AppTier is the application-granularity tier; it implements the full
+// catalogue.
+func AppTier() Tier {
+	return Tier{
+		Name:     "app",
+		Supports: func(policy.ID) bool { return true },
+		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+			return crmodel.Simulate(crmodel.Config{Model: id, Config: plat}, seed)
+		},
+	}
+}
+
+// NodeTier is the node-granularity tier; it implements the catalogue
+// subset with node labels (B, P1, P2).
+func NodeTier() Tier {
+	return Tier{
+		Name:     "node",
+		Supports: func(id policy.ID) bool { return id.NodeLabel() != "" },
+		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+			return nodesim.Simulate(nodesim.Config{Policy: id, Config: plat}, seed)
+		},
+	}
+}
+
+// Tiers lists both granularities.
+func Tiers() []Tier { return []Tier{AppTier(), NodeTier()} }
+
+// SimulateTierN runs n seeds of one catalogue entry on a tier, drawing
+// the identical crmodel.RunSeed sequence either tier's native runner
+// would use, so per-seed results are comparable across tiers. Results
+// aggregate in seed order regardless of worker interleaving.
+func SimulateTierN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed uint64, workers int) *stats.Agg {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]stats.RunResult, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = t.Simulate(id, plat, crmodel.RunSeed(baseSeed, i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	agg := &stats.Agg{}
+	for _, r := range results {
+		agg.Add(r)
+	}
+	return agg
+}

@@ -1,0 +1,44 @@
+package iomodel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAggregateBandwidth checks the invariants every simulation tier
+// leans on when pricing checkpoints: for any sane (nodes, per-node GB)
+// pair the interpolated aggregate bandwidth is positive, finite, never
+// exceeds the PFS ceiling, and is monotonically non-decreasing in node
+// count (more writers never see less aggregate bandwidth on the way to
+// the ceiling). The seeded corpus under testdata/fuzz pins the grid
+// corners, an off-grid interior point, and the Summit-scale operating
+// point; `go test` replays it without -fuzz.
+func FuzzAggregateBandwidth(f *testing.F) {
+	f.Add(1, 0.0009765625) // smallest grid corner (1/1024 GB)
+	f.Add(4096, 1024.0)    // largest grid corner
+	f.Add(2272, 285.0)     // Summit-scale CHIMERA operating point
+	f.Add(3, 0.25)         // off-grid interior: both axes interpolate
+	f.Add(100000, 2048.0)  // beyond the grid: clamps at the edge
+	io := New(DefaultSummit())
+	ceiling := DefaultSummit().AggregatePFSCeilingGBs
+	f.Fuzz(func(t *testing.T, nodes int, perNodeGB float64) {
+		if nodes <= 0 || nodes > 1<<20 {
+			t.Skip("lookup contract requires a positive, plausible node count")
+		}
+		if !(perNodeGB > 0) || perNodeGB > 4096 || math.IsNaN(perNodeGB) {
+			t.Skip("lookup contract requires a positive, finite footprint")
+		}
+		bw := io.AggregateBandwidth(nodes, perNodeGB)
+		if !(bw > 0) || math.IsInf(bw, 0) || math.IsNaN(bw) {
+			t.Fatalf("AggregateBandwidth(%d, %g) = %g, want positive finite", nodes, perNodeGB, bw)
+		}
+		if bw > ceiling*(1+1e-9) {
+			t.Fatalf("AggregateBandwidth(%d, %g) = %g exceeds PFS ceiling %g", nodes, perNodeGB, bw, ceiling)
+		}
+		if nodes <= 1<<19 {
+			if more := io.AggregateBandwidth(nodes*2, perNodeGB); more < bw-1e-9*bw {
+				t.Fatalf("bandwidth not monotone in nodes: %d→%g but %d→%g", nodes, bw, nodes*2, more)
+			}
+		}
+	})
+}

@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"pckpt/internal/metrics"
+	"pckpt/internal/platform"
 )
 
 func TestSimulateMetersNodeGranularRun(t *testing.T) {
 	reg := metrics.New()
-	cfg := Config{Policy: PolicyHybrid, App: smallApp, System: busySystem, Metrics: reg}
+	cfg := Config{Policy: PolicyHybrid, Config: platform.Config{App: smallApp, System: busySystem}, Metrics: reg}
 	r := Simulate(cfg, 5)
 	snap := reg.Snapshot(r.WallSeconds)
 	// Every completed BB phase observes exactly one blocked span.
@@ -19,7 +20,7 @@ func TestSimulateMetersNodeGranularRun(t *testing.T) {
 		t.Fatalf("drain queue depth gauge missing or flat: %+v", g)
 	}
 	// Metering must not perturb the simulation.
-	if plain := Simulate(Config{Policy: PolicyHybrid, App: smallApp, System: busySystem}, 5); r != plain {
+	if plain := Simulate(Config{Policy: PolicyHybrid, Config: platform.Config{App: smallApp, System: busySystem}}, 5); r != plain {
 		t.Fatalf("metering changed the run:\n%+v\n%+v", r, plain)
 	}
 }

@@ -10,7 +10,10 @@
 // cross-validation test checks that its aggregate accounting agrees with
 // the application-level model in internal/crmodel on matched
 // configurations — the two tiers consume identical failure streams and
-// must tell the same story.
+// must tell the same story. Both tiers share the model catalogue and
+// strategies of internal/policy and the derived quantities of
+// internal/platform, so agreement on the platform math holds by
+// construction.
 //
 // Structure: a coordinator process drives phases (compute → BB write →
 // async drain; p-ckpt episodes and recoveries on demand) by issuing
@@ -25,56 +28,41 @@ import (
 
 	"pckpt/internal/failure"
 	"pckpt/internal/iomodel"
-	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
 	"pckpt/internal/oci"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
 	"pckpt/internal/rng"
 	"pckpt/internal/sim"
 	"pckpt/internal/stats"
-	"pckpt/internal/workload"
 )
 
-// Policy selects the proactive strategy (a subset of the crmodel
-// catalogue: the node-granular tier exists for the paper's contribution,
-// not for re-running every baseline).
-type Policy uint8
+// Policy selects the proactive strategy. It is the policy catalogue's ID
+// type; the node-granular tier implements the subset below (it exists
+// for the paper's contribution, not for re-running every baseline), and
+// Validate rejects catalogue entries outside it.
+type Policy = policy.ID
 
 const (
-	// PolicyBase: periodic checkpointing only.
-	PolicyBase Policy = iota
+	// PolicyBase: periodic checkpointing only (model B).
+	PolicyBase Policy = policy.B
 	// PolicyPckpt: coordinated prioritized checkpointing (model P1).
-	PolicyPckpt
+	PolicyPckpt Policy = policy.P1
 	// PolicyHybrid: LM preferred, p-ckpt fallback (model P2).
-	PolicyHybrid
+	PolicyHybrid Policy = policy.P2
 )
 
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	switch p {
-	case PolicyBase:
-		return "base"
-	case PolicyPckpt:
-		return "p-ckpt"
-	case PolicyHybrid:
-		return "hybrid"
-	default:
-		return fmt.Sprintf("Policy(%d)", uint8(p))
-	}
-}
-
-// Config parameterises a node-granular run. Zero-valued optional fields
-// default exactly like crmodel.Config so the two tiers stay comparable.
+// Config parameterises a node-granular run: the policy under test, the
+// shared platform configuration, and this tier's observers. Embedding
+// platform.Config is what keeps the two tiers comparable: their defaults
+// and derived quantities come from the same code by construction.
 type Config struct {
+	// Policy is the proactive strategy to simulate.
 	Policy Policy
-	App    workload.App
-	System failure.System
-	IO     *iomodel.Model
-	LM     lm.Config
-	Leads  *failure.LeadTimeModel
-	// LeadScale stretches lead times (1.0 if zero).
-	LeadScale float64
-	// FNRate / FPRate configure the predictor (zero selects defaults).
-	FNRate, FPRate float64
+	// Config is the tier-independent platform: application, failure
+	// system, I/O pricing, migration model, predictor. Its fields are
+	// promoted (cfg.App, cfg.System, ...).
+	platform.Config
 	// Metrics, when non-nil, receives the run's simulation-time metrics
 	// (see internal/metrics): episode spans, per-node commit latency,
 	// coordination (lane) wait, drain queue depth. Nil costs nothing on
@@ -84,56 +72,25 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.IO == nil {
-		c.IO = iomodel.New(iomodel.DefaultSummit())
-	}
-	if c.LM == (lm.Config{}) {
-		c.LM = lm.Default()
-	}
-	if c.Leads == nil {
-		c.Leads = failure.DefaultLeadTimes()
-	}
-	if c.LeadScale == 0 {
-		c.LeadScale = 1
-	}
-	if c.FNRate == 0 {
-		c.FNRate = failure.DefaultFNRate
-	}
-	if c.FPRate == 0 {
-		c.FPRate = failure.DefaultFPRate
-	}
+	c.Config = c.Config.WithDefaults()
 	return c
 }
 
 // Validate reports a configuration error, or nil.
 func (c Config) Validate() error {
-	c = c.withDefaults()
-	if err := c.App.Validate(); err != nil {
-		return err
+	if c.Policy.NodeLabel() == "" {
+		return fmt.Errorf("nodesim: invalid policy %d", uint8(c.Policy))
 	}
-	if err := c.System.Validate(); err != nil {
-		return err
-	}
-	if err := c.LM.Validate(); err != nil {
-		return err
-	}
-	if c.Policy > PolicyHybrid {
-		return fmt.Errorf("nodesim: invalid policy %d", c.Policy)
-	}
-	return nil
+	return c.Config.Validate()
 }
 
-// sigma mirrors crmodel.Config.Sigma: Eq. (2)'s σ at the baseline recall
-// (accuracy-blind, per the paper).
-func (c Config) sigma() float64 {
-	if c.Policy != PolicyHybrid {
+// Sigma mirrors crmodel.Config.Sigma: Eq. (2)'s σ at the baseline recall
+// (accuracy-blind, per the paper). Policies without LM use σ = 0.
+func (c Config) Sigma() float64 {
+	if !c.Policy.UsesLM() {
 		return 0
 	}
-	leads := c.Leads
-	if c.LeadScale != 1 {
-		leads = leads.Scaled(c.LeadScale)
-	}
-	return leads.Sigma(c.LM.Theta(c.App.PerNodeGB()), failure.DefaultFNRate)
+	return c.Config.SigmaLM()
 }
 
 // command kinds issued by the coordinator.
@@ -171,19 +128,24 @@ type node struct {
 // cluster is the shared state, mutated lock-step.
 type cluster struct {
 	cfg   Config
+	pol   policy.Policy
 	env   *sim.Env
 	io    *iomodel.Model
 	nodes []*node
 	coord *sim.Proc
 	est   *failure.RateEstimator
 
-	// Platform constants.
-	total, perNode, tBB, drainDur, theta, sigmaV float64
-	singleWrite, recoveryBB, recoveryPFS         float64
+	// plat holds the precomputed platform quantities, derived once by
+	// internal/platform; sigma is Eq. (2)'s σ gated on the policy's LM
+	// capability (0 for base and p-ckpt).
+	plat  platform.Derived
+	sigma float64
 
-	// Progress and checkpoint placement (BSP: one global progress).
-	progress, bbProgress, pfsProgress float64
-	drainGen                          int
+	// progress is the BSP global progress; checkpoint placement and the
+	// rest of the C/R lifecycle (fail epochs, drains, episodes,
+	// migrations, ledgers) live in st.
+	progress float64
+	st       *policy.State
 
 	// Lane is the prioritized PFS path of phase 1.
 	lane *sim.Resource
@@ -192,7 +154,6 @@ type cluster struct {
 	outstanding int
 	allDone     *sim.Event
 	pending     []failure.Event
-	failEpoch   int
 	// computing/computeStart bank partial compute progress: pausing
 	// handlers (episodes, failures) call bankCompute so rollbacks and
 	// pauses never miscount computation.
@@ -202,20 +163,6 @@ type cluster struct {
 	// coordinator phase, so the BB phase can compute its true remaining
 	// write time after an episode interleaved with it.
 	pausedInPhase float64
-	// rescheduled mirrors crmodel: a successful proactive full-PFS commit
-	// re-bases the periodic checkpoint schedule (the paper's adaptive
-	// checkpointing).
-	rescheduled bool
-
-	predicted   map[int64]float64 // failure ID → failAt
-	mitigatedAt map[int64]float64
-	avoided     map[int64]bool
-	migrations  map[int]*migration
-	episode     *episodeState
-
-	// drainsInFlight counts scheduled BB→PFS drain completions not yet
-	// fired, mirrored into the drain-depth gauge.
-	drainsInFlight int
 
 	met nodeMetrics
 	res stats.RunResult
@@ -241,7 +188,7 @@ func newNodeMetrics(r *metrics.Registry, pol Policy) nodeMetrics {
 	if r == nil {
 		return nodeMetrics{}
 	}
-	p := "nodesim." + pol.String() + "."
+	p := "nodesim." + pol.NodeLabel() + "."
 	return nodeMetrics{
 		bbWrite:           r.Histogram(p + "bb_write_seconds"),
 		episodeDur:        r.Histogram(p + "episode_seconds"),
@@ -255,17 +202,6 @@ func newNodeMetrics(r *metrics.Registry, pol Policy) nodeMetrics {
 	}
 }
 
-type migration struct {
-	ev      failure.Event
-	aborted bool
-}
-
-type episodeState struct {
-	startProgress float64
-	committed     int
-	abandoned     bool
-}
-
 // Simulate executes one node-granular run. Deterministic in (cfg, seed);
 // with the same seed it consumes the identical failure stream as
 // crmodel.Simulate on the matching configuration.
@@ -276,39 +212,20 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	}
 	env := sim.NewEnv()
 	c := &cluster{
-		cfg:         cfg,
-		env:         env,
-		io:          cfg.IO,
-		est:         failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
-		total:       cfg.App.ComputeSeconds(),
-		perNode:     cfg.App.PerNodeGB(),
-		bbProgress:  -1,
-		pfsProgress: -1,
-		lane:        sim.NewResource(env, 1),
-		predicted:   make(map[int64]float64),
-		mitigatedAt: make(map[int64]float64),
-		avoided:     make(map[int64]bool),
-		migrations:  make(map[int]*migration),
+		cfg:   cfg,
+		pol:   policy.For(cfg.Policy),
+		env:   env,
+		io:    cfg.IO,
+		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
+		plat:  cfg.Derive(),
+		sigma: cfg.Sigma(),
+		st:    policy.NewState(),
+		lane:  sim.NewResource(env, 1),
 	}
-	c.tBB = c.io.BBWriteTime(c.perNode)
-	c.drainDur = c.io.DrainTime(cfg.App.Nodes, c.perNode)
-	c.theta = cfg.LM.Theta(c.perNode)
-	c.sigmaV = cfg.sigma()
-	c.singleWrite = c.io.SingleNodePFSWriteTime(c.perNode)
-	c.recoveryBB = math.Max(c.io.BBReadTime(c.perNode), c.io.SingleNodePFSReadTime(c.perNode))
-	c.recoveryPFS = c.io.PFSReadTime(cfg.App.Nodes, c.perNode)
 
 	c.met = newNodeMetrics(cfg.Metrics, cfg.Policy)
 	src := rng.New(seed)
-	stream := failure.NewStream(failure.Config{
-		System:    cfg.System,
-		JobNodes:  cfg.App.Nodes,
-		Leads:     cfg.Leads,
-		LeadScale: cfg.LeadScale,
-		FNRate:    cfg.FNRate,
-		FPRate:    cfg.FPRate,
-		Metrics:   cfg.Metrics,
-	}, src.Split(1))
+	stream := failure.NewStream(cfg.StreamConfig(cfg.Metrics), src.Split(1))
 
 	for i := 0; i < cfg.App.Nodes; i++ {
 		n := &node{id: i, ready: sim.NewEvent(env)}
@@ -359,21 +276,22 @@ func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
 		return // episode abandoned while queued
 	}
 	c.met.laneWait.Observe(c.env.Now() - posted)
-	err := p.Wait(c.singleWrite)
+	err := p.Wait(c.plat.SingleNodePFSWrite)
 	c.lane.Release()
 	if err != nil {
 		return // aborted mid-write
 	}
 	c.met.commitLat.Observe(c.env.Now() - posted)
-	if c.episode != nil {
-		c.episode.committed++
+	ep := c.st.Episode()
+	if ep != nil {
+		ep.Committed++
 	}
 	if cmd.ev.Kind == failure.KindPrediction && c.env.Now() <= cmd.ev.FailTime {
 		startProgress := c.progress
-		if c.episode != nil {
-			startProgress = c.episode.startProgress
+		if ep != nil {
+			startProgress = ep.StartProgress
 		}
-		c.mitigatedAt[cmd.ev.ID] = startProgress
+		c.st.Mitigate(cmd.ev.ID, startProgress)
 	}
 }
 
@@ -414,25 +332,25 @@ func (c *cluster) abortBusy() {
 // reported, handling injected events as they arrive. It returns false if
 // a failure voided the phase (the caller decides what that means).
 func (c *cluster) awaitPhase(p *sim.Proc) bool {
-	epoch := c.failEpoch
+	epoch := c.st.Epoch()
 	for c.outstanding > 0 {
 		c.allDone = sim.NewEvent(c.env)
 		if err := p.WaitEvent(c.allDone); err != nil {
 			c.allDone = nil
 			c.handleEvents(p)
-			if c.failEpoch != epoch {
+			if c.st.Epoch() != epoch {
 				return false
 			}
 		}
 	}
-	return c.failEpoch == epoch
+	return c.st.Epoch() == epoch
 }
 
 // coordinate is the coordinator process: the BSP main loop.
 func (c *cluster) coordinate(p *sim.Proc) {
-	for c.progress < c.total {
+	for c.progress < c.plat.ComputeSeconds {
 		c.computePhase(p)
-		if c.progress >= c.total {
+		if c.progress >= c.plat.ComputeSeconds {
 			break
 		}
 		c.bbPhase(p)
@@ -449,8 +367,8 @@ func (c *cluster) coordinate(p *sim.Proc) {
 // failure) before it mutates progress.
 func (c *cluster) computePhase(p *sim.Proc) {
 	rate := c.est.Rate(c.env.Now())
-	interval := oci.FromJobRate(c.tBB, rate, c.sigmaV)
-	target := math.Min(c.progress+interval, c.total)
+	interval := oci.FromJobRate(c.plat.BBWrite, rate, c.sigma)
+	target := math.Min(c.progress+interval, c.plat.ComputeSeconds)
 	// The banked float sums can stall a hair short of the target while
 	// simulated time can no longer resolve the residual; treat anything
 	// below a microsecond as done and snap.
@@ -465,13 +383,12 @@ func (c *cluster) computePhase(p *sim.Proc) {
 		}
 		c.awaitPhase(p)
 		c.bankCompute()
-		if c.rescheduled {
+		if c.st.TakeRescheduled() {
 			// A proactive action committed a full checkpoint: re-base the
 			// periodic schedule on a fresh interval from here.
-			c.rescheduled = false
 			rate = c.est.Rate(c.env.Now())
-			interval = oci.FromJobRate(c.tBB, rate, c.sigmaV)
-			target = math.Min(c.progress+interval, c.total)
+			interval = oci.FromJobRate(c.plat.BBWrite, rate, c.sigma)
+			target = math.Min(c.progress+interval, c.plat.ComputeSeconds)
 		}
 	}
 	c.progress = target
@@ -483,7 +400,7 @@ func (c *cluster) computePhase(p *sim.Proc) {
 // voids the write entirely.
 func (c *cluster) bbPhase(p *sim.Proc) {
 	began := c.env.Now()
-	remaining := c.tBB
+	remaining := c.plat.BBWrite
 	for remaining > 1e-9 {
 		start := c.env.Now()
 		c.pausedInPhase = 0
@@ -502,17 +419,15 @@ func (c *cluster) bbPhase(p *sim.Proc) {
 	}
 	c.met.bbWrite.Observe(c.env.Now() - began)
 	c.res.Checkpoints++
-	c.bbProgress = c.progress
-	c.drainGen++
-	gen := c.drainGen
+	c.st.CommitBB(c.progress)
 	captured := c.progress
-	c.drainsInFlight++
-	c.met.drainDepth.Set(c.env.Now(), float64(c.drainsInFlight))
-	c.env.At(c.drainDur, func() {
-		c.drainsInFlight--
-		c.met.drainDepth.Set(c.env.Now(), float64(c.drainsInFlight))
-		if gen == c.drainGen && captured > c.pfsProgress {
-			c.pfsProgress = captured
+	gen, depth := c.st.BeginDrain()
+	c.met.drainDepth.Set(c.env.Now(), float64(depth))
+	c.env.At(c.plat.Drain, func() {
+		depth, current := c.st.FinishDrain(gen)
+		c.met.drainDepth.Set(c.env.Now(), float64(depth))
+		if current {
+			c.st.CommitPFS(captured)
 		}
 	})
 }
@@ -531,47 +446,38 @@ func (c *cluster) handleEvents(p *sim.Proc) {
 	}
 }
 
-// onPrediction applies the policy.
+// onPrediction records the prediction and executes whatever proactive
+// action the policy's strategy decides.
 func (c *cluster) onPrediction(p *sim.Proc, ev failure.Event) {
 	if ev.Kind == failure.KindPrediction {
-		c.predicted[ev.ID] = ev.FailTime
+		c.st.RecordPrediction(ev.ID, policy.Prediction{Node: ev.Node, FailAt: ev.FailTime, Lead: ev.Lead})
 	}
-	switch c.cfg.Policy {
-	case PolicyBase:
-		return
-	case PolicyHybrid:
-		if c.episode == nil && ev.Lead >= c.theta && c.migrations[ev.Node] == nil {
-			c.startMigration(ev)
-			return
+	switch c.pol.OnPrediction(c.st, ev.Node, ev.Lead, c.plat.Theta) {
+	case policy.ActJoinEpisode:
+		if n := c.nodes[ev.Node]; !n.busy {
+			// Joins phase 1: the node heads straight for the lane.
+			c.post(n, command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
 		}
-		fallthrough
-	case PolicyPckpt:
-		if c.episode != nil {
-			if n := c.nodes[ev.Node]; !c.episode.abandoned && !n.busy {
-				// Joins phase 1: the node heads straight for the lane.
-				c.post(n, command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
-			}
-			return
-		}
+	case policy.ActMigrate:
+		c.startMigration(ev)
+	case policy.ActStartEpisode:
 		c.runEpisode(p, ev)
 	}
 }
 
 // startMigration begins a background live migration.
 func (c *cluster) startMigration(ev failure.Event) {
-	m := &migration{ev: ev}
-	c.migrations[ev.Node] = m
-	c.env.At(c.theta, func() {
-		if m.aborted {
+	m := c.st.StartMigration(ev)
+	c.env.At(c.plat.Theta, func() {
+		if !c.st.FinishMigration(m) {
 			return
 		}
-		delete(c.migrations, ev.Node)
 		c.res.Migrations++
-		c.res.Overheads.Checkpoint += c.cfg.LM.DilationSeconds(c.perNode)
+		c.res.Overheads.Checkpoint += c.cfg.LM.DilationSeconds(c.plat.PerNodeGB)
 		if ev.Kind == failure.KindPrediction {
-			c.avoided[ev.ID] = true
+			c.st.MarkAvoided(ev.ID)
 			c.res.Avoided++
-			delete(c.predicted, ev.ID)
+			c.st.ForgetPrediction(ev.ID)
 		}
 	})
 }
@@ -590,18 +496,15 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 	// outstanding count, which the episode waits out.
 	c.bankCompute()
 	c.abortBusy()
-	ep := &episodeState{startProgress: c.progress}
-	c.episode = ep
-	defer func() { c.episode = nil }()
+	ep := c.st.BeginEpisode(c.progress)
+	defer c.st.EndEpisode()
 	// Abort in-flight migrations; their nodes join phase 1 (Fig. 5).
-	epochStart := c.failEpoch
+	epochStart := c.st.Epoch()
 	pendingVuln := []failure.Event{first}
-	for nodeID, m := range c.migrations {
-		m.aborted = true
-		delete(c.migrations, nodeID)
+	c.st.AbortMigrations(func(ev failure.Event) {
 		c.res.AbortedMigrations++
-		pendingVuln = append(pendingVuln, m.ev)
-	}
+		pendingVuln = append(pendingVuln, ev)
+	})
 	start := c.env.Now()
 	pausedBefore := c.pausedInPhase
 	// selfSpan charges the episode's own blocked time, excluding nested
@@ -624,15 +527,15 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 		}
 		c.post(c.nodes[ev.Node], command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
 	}
-	if !c.awaitPhase(p) || ep.abandoned {
+	if !c.awaitPhase(p) || ep.Abandoned {
 		charge()
 		c.met.episodesAbandoned.Inc()
 		return
 	}
 	// Phase 2: pfs-commit broadcast; every remaining node writes.
-	healthy := len(c.nodes) - ep.committed
+	healthy := len(c.nodes) - ep.Committed
 	if healthy > 0 {
-		tr := c.io.PFSWriteTransfer(healthy, c.perNode)
+		tr := c.io.PFSWriteTransfer(healthy, c.plat.PerNodeGB)
 		for _, n := range c.nodes {
 			if !n.busy {
 				c.post(n, command{kind: cmdBulkWrite, dur: tr.Seconds})
@@ -647,11 +550,9 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 	}
 	charge()
 	c.met.episodeDur.Observe(c.env.Now() - start)
-	if c.failEpoch == epochStart {
-		if ep.startProgress > c.pfsProgress {
-			c.pfsProgress = ep.startProgress
-		}
-		c.rescheduled = true
+	if c.st.Epoch() == epochStart {
+		c.st.CommitPFS(ep.StartProgress)
+		c.st.MarkRescheduled()
 	}
 }
 
@@ -663,38 +564,25 @@ func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
 	if ev.Lead > 0 {
 		c.res.Predicted++
 	}
-	delete(c.predicted, ev.ID)
-	if m := c.migrations[ev.Node]; m != nil {
-		m.aborted = true
-		delete(c.migrations, ev.Node)
+	out := c.pol.OnFailure(c.st, ev)
+	if out.MigrationAborted {
 		c.res.AbortedMigrations++
 	}
-	if c.episode != nil {
-		c.episode.abandoned = true
-	}
-	c.failEpoch++
 	c.bankCompute()
 	c.abortBusy()
-
-	mitQ, mitigated := c.mitigatedAt[ev.ID]
-	if mitigated {
-		delete(c.mitigatedAt, ev.ID)
+	if out.Mitigated {
 		c.res.Mitigated++
 	}
-	q := math.Max(c.bbProgress, c.pfsProgress)
-	if c.bbProgress > c.pfsProgress {
-		// The failed node's BB died with it: if the newest coordinated
-		// checkpoint has not finished draining, the consistent restart
-		// point is the older PFS-resident one (Fig. 1 case B).
-		q = c.pfsProgress
-	}
-	recovery := c.recoveryBB
-	if mitigated && mitQ >= q {
-		q = mitQ
-		recovery = c.recoveryPFS
-	}
-	if q < 0 {
-		q = 0
+
+	// The failed node's BB died with it: if the newest coordinated
+	// checkpoint has not finished draining, the consistent restart point
+	// is the older PFS-resident one (Fig. 1 case B) — so the restart
+	// candidate is always the PFS placement, possibly improved by the
+	// proactive commit that mitigated this failure.
+	q, fromPFS := policy.BestRestart(c.st.PFSProgress(), out)
+	recovery := c.plat.RecoveryBB
+	if fromPFS {
+		recovery = c.plat.RecoveryPFS
 	}
 	if c.progress > q {
 		c.met.recomputeLoss.Observe(c.progress - q)
@@ -756,13 +644,12 @@ func (c *cluster) inject(p *sim.Proc, stream *failure.Stream) {
 		}
 		switch ev.Kind {
 		case failure.KindFailure:
-			if c.avoided[ev.ID] {
-				delete(c.avoided, ev.ID)
+			if c.st.ConsumeAvoided(ev.ID) {
 				continue
 			}
 			c.est.Observe()
 		default:
-			if c.cfg.Policy == PolicyBase {
+			if !c.cfg.Policy.UsesPrediction() {
 				continue
 			}
 		}

@@ -1,0 +1,90 @@
+package platform_test
+
+import (
+	"testing"
+
+	"pckpt/internal/crmodel"
+	"pckpt/internal/failure"
+	"pckpt/internal/iomodel"
+	"pckpt/internal/nodesim"
+	"pckpt/internal/platform"
+	"pckpt/internal/workload"
+)
+
+// TestDerivedParity asserts that both simulation tiers, handed matched
+// configurations, derive byte-identical platform quantities — and that
+// both equal the platform package's own derivation. Derived is a
+// comparable struct of float64s, so == is bitwise equality; any second
+// implementation of a derived quantity sneaking back into a tier shows
+// up here as a mismatch.
+func TestDerivedParity(t *testing.T) {
+	summit := iomodel.New(iomodel.DefaultSummit())
+	cases := []struct {
+		name string
+		cfg  platform.Config
+	}{
+		{"small-busy", platform.Config{
+			App:    workload.App{Name: "small", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
+			System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48},
+		}},
+		{"xgc-titan", func() platform.Config {
+			app, err := workload.ByName("XGC")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return platform.Config{App: app, System: failure.Titan}
+		}()},
+		{"chimera-titan-scaled-leads", func() platform.Config {
+			app, err := workload.ByName("CHIMERA")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return platform.Config{App: app, System: failure.Titan, LeadScale: 0.25}
+		}()},
+		{"explicit-io-and-rates", platform.Config{
+			App:       workload.App{Name: "mid", Nodes: 512, TotalCkptGB: 512 * 64, ComputeHours: 120},
+			System:    failure.System{Name: "flaky", Shape: 0.7, ScaleHours: 12, Nodes: 4096},
+			IO:        summit,
+			FNRate:    0.35,
+			FPRate:    0.10,
+			LeadScale: 2,
+		}},
+		{"accuracy-aware-sigma", platform.Config{
+			App:                workload.App{Name: "aa", Nodes: 256, TotalCkptGB: 256 * 32, ComputeHours: 48},
+			System:             failure.Titan,
+			FNRate:             0.5,
+			AccuracyAwareSigma: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.cfg.Derive()
+			appDerived := crmodel.Config{Model: crmodel.ModelP2, Config: tc.cfg}.Derive()
+			nodeDerived := nodesim.Config{Policy: nodesim.PolicyHybrid, Config: tc.cfg}.Derive()
+			if appDerived != want {
+				t.Errorf("crmodel derivation diverges:\napp  %+v\nwant %+v", appDerived, want)
+			}
+			if nodeDerived != want {
+				t.Errorf("nodesim derivation diverges:\nnode %+v\nwant %+v", nodeDerived, want)
+			}
+			// σ(LM) parity for the hybrid entry both tiers run: the tiers
+			// must price migration mitigation off the same sigma, and it
+			// must be the platform package's number, not a local recompute.
+			appSigma := crmodel.Config{Model: crmodel.ModelP2, Config: tc.cfg}.Sigma()
+			nodeSigma := nodesim.Config{Policy: nodesim.PolicyHybrid, Config: tc.cfg}.Sigma()
+			if appSigma != nodeSigma {
+				t.Errorf("sigma diverges: app %v vs node %v", appSigma, nodeSigma)
+			}
+			if appSigma != tc.cfg.SigmaLM() {
+				t.Errorf("sigma %v != platform SigmaLM %v", appSigma, tc.cfg.SigmaLM())
+			}
+			// Non-LM entries must gate sigma to zero in both tiers.
+			if s := (crmodel.Config{Model: crmodel.ModelP1, Config: tc.cfg}).Sigma(); s != 0 {
+				t.Errorf("P1 sigma %v, want 0 (no live migration)", s)
+			}
+			if s := (nodesim.Config{Policy: nodesim.PolicyPckpt, Config: tc.cfg}).Sigma(); s != 0 {
+				t.Errorf("p-ckpt policy sigma %v, want 0 (no live migration)", s)
+			}
+		})
+	}
+}

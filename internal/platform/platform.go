@@ -1,0 +1,210 @@
+// Package platform computes the paper's platform quantities — Eq. (2)'s
+// σ, the LM threshold θ, BB/PFS write times, the asynchronous drain
+// duration, and the two recovery paths — exactly once, from one unified
+// configuration. Both simulation tiers (internal/crmodel at application
+// granularity, internal/nodesim at node granularity) embed Config and
+// consume Derived, so the quantities cannot drift between tiers: a
+// matched pair of configurations yields byte-identical numbers by
+// construction.
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"pckpt/internal/failure"
+	"pckpt/internal/iomodel"
+	"pckpt/internal/lm"
+	"pckpt/internal/metrics"
+	"pckpt/internal/workload"
+)
+
+// Config is the tier-independent platform configuration: application,
+// failure system, I/O pricing, migration model, and predictor. The tiers
+// embed it (adding only their model/policy selector and observers), so
+// "defaults exactly like the other tier" is enforced by the type system.
+type Config struct {
+	// App is the application under test (Table I entry or custom).
+	App workload.App
+	// System supplies the failure distribution (Table III entry).
+	System failure.System
+	// IO prices every transfer; nil selects the default Summit model.
+	IO *iomodel.Model
+	// LM is the migration model; the zero value selects lm.Default().
+	LM lm.Config
+	// Leads is the lead-time model; nil selects the default mixture.
+	Leads *failure.LeadTimeModel
+	// LeadScale stretches lead times (1.0 if zero) — the variability
+	// axis of Figs. 4 and 7.
+	LeadScale float64
+	// FNRate and FPRate configure the predictor. NOTE: the zero value
+	// selects the defaults (0.125 / 0.18); to simulate a perfect
+	// predictor set PerfectPredictor.
+	FNRate, FPRate float64
+	// PerfectPredictor forces FN = FP = 0.
+	PerfectPredictor bool
+	// OCIRefreshSeconds is how often the optimal checkpoint interval is
+	// re-derived from the observed failure rate; zero selects hourly.
+	OCIRefreshSeconds float64
+	// AccuracyAwareSigma enables the extension the paper's Observation 9
+	// proposes as future work: include the predictor's actual accuracy in
+	// Eq. (2)'s σ, so the LM-assisted models stop overestimating their
+	// coverage when the false-negative rate climbs. Off by default to
+	// match the published models.
+	AccuracyAwareSigma bool
+}
+
+// WithDefaults returns a copy with zero fields defaulted. Idempotent.
+func (c Config) WithDefaults() Config {
+	if c.IO == nil {
+		c.IO = iomodel.New(iomodel.DefaultSummit())
+	}
+	if c.LM == (lm.Config{}) {
+		c.LM = lm.Default()
+	}
+	if c.Leads == nil {
+		c.Leads = failure.DefaultLeadTimes()
+	}
+	if c.LeadScale == 0 {
+		c.LeadScale = 1
+	}
+	if c.PerfectPredictor {
+		c.FNRate, c.FPRate = 0, 0
+	} else {
+		if c.FNRate == 0 {
+			c.FNRate = failure.DefaultFNRate
+		}
+		if c.FPRate == 0 {
+			c.FPRate = failure.DefaultFPRate
+		}
+	}
+	if c.OCIRefreshSeconds == 0 {
+		c.OCIRefreshSeconds = 3600
+	}
+	return c
+}
+
+// Validate reports a configuration error, or nil. The tiers call it
+// after checking their own model/policy selector.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if err := c.App.Validate(); err != nil {
+		return err
+	}
+	if err := c.System.Validate(); err != nil {
+		return err
+	}
+	if err := c.LM.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.LeadScale <= 0:
+		return fmt.Errorf("platform: non-positive lead scale")
+	case c.FNRate < 0 || c.FNRate > 1:
+		return fmt.Errorf("platform: FN rate outside [0, 1]")
+	case c.FPRate < 0 || c.FPRate >= 1:
+		return fmt.Errorf("platform: FP rate outside [0, 1)")
+	case c.OCIRefreshSeconds < 0:
+		return fmt.Errorf("platform: negative OCI refresh period")
+	}
+	return nil
+}
+
+// Theta returns the live-migration lead-time threshold for this
+// configuration's application.
+func (c Config) Theta() float64 {
+	c = c.WithDefaults()
+	return c.LM.Theta(c.App.PerNodeGB())
+}
+
+// SigmaLM returns the σ of Eq. (2) for a model that live-migrates: the
+// fraction of failures avoidable by LM given the (scaled) lead-time
+// distribution. Models without LM use σ = 0 — the tiers gate on their
+// catalogue capability before calling this.
+//
+// Deliberately, σ uses the baseline false-negative rate rather than the
+// configured one: the paper's Eq. (2) does not include the prediction
+// accuracy factor (its Observation 9 calls adding it future work), which
+// is exactly why the LM-assisted models overestimate their coverage and
+// degrade faster as the false-negative rate climbs.
+func (c Config) SigmaLM() float64 {
+	c = c.WithDefaults()
+	leads := c.Leads
+	if c.LeadScale != 1 {
+		leads = leads.Scaled(c.LeadScale)
+	}
+	fn := failure.DefaultFNRate
+	if c.AccuracyAwareSigma {
+		fn = c.FNRate
+	}
+	return leads.Sigma(c.Theta(), fn)
+}
+
+// StreamConfig builds the failure/prediction stream configuration both
+// tiers inject, wired to an optional metrics registry.
+func (c Config) StreamConfig(reg *metrics.Registry) failure.Config {
+	c = c.WithDefaults()
+	return failure.Config{
+		System:    c.System,
+		JobNodes:  c.App.Nodes,
+		Leads:     c.Leads,
+		LeadScale: c.LeadScale,
+		FNRate:    c.FNRate,
+		FPRate:    c.FPRate,
+		Metrics:   reg,
+	}
+}
+
+// Derived is the full set of precomputed platform quantities (seconds /
+// GB) a tier needs to price the simulation. It is a comparable struct:
+// two configurations agree on the platform exactly when their Derived
+// values compare equal (byte-identical float64s, no tolerance).
+type Derived struct {
+	// Nodes is the application's node count.
+	Nodes int
+	// ComputeSeconds is the required failure-free compute time.
+	ComputeSeconds float64
+	// PerNodeGB is the per-node checkpoint footprint.
+	PerNodeGB float64
+	// BBWrite is the synchronous burst-buffer write (t_BB).
+	BBWrite float64
+	// Drain is the asynchronous BB→PFS drain duration.
+	Drain float64
+	// Theta is the LM lead-time threshold θ.
+	Theta float64
+	// SigmaLM is Eq. (2)'s σ for LM-capable models (callers gate on the
+	// catalogue capability and use 0 otherwise).
+	SigmaLM float64
+	// SingleNodePFSWrite is one node's uncontended PFS write (p-ckpt
+	// phase 1).
+	SingleNodePFSWrite float64
+	// FullPFSWrite is the all-node contended PFS write (safeguard /
+	// p-ckpt phase 2).
+	FullPFSWrite float64
+	// RecoveryBB is the unhandled-failure recovery path: surviving nodes
+	// restore from BB while the replacement reads the PFS.
+	RecoveryBB float64
+	// RecoveryPFS is the mitigated-failure recovery path: all nodes
+	// restore from the PFS.
+	RecoveryPFS float64
+}
+
+// Derive computes every platform quantity from the configuration.
+func (c Config) Derive() Derived {
+	c = c.WithDefaults()
+	perNode := c.App.PerNodeGB()
+	nodes := c.App.Nodes
+	return Derived{
+		Nodes:              nodes,
+		ComputeSeconds:     c.App.ComputeSeconds(),
+		PerNodeGB:          perNode,
+		BBWrite:            c.IO.BBWriteTime(perNode),
+		Drain:              c.IO.DrainTime(nodes, perNode),
+		Theta:              c.LM.Theta(perNode),
+		SigmaLM:            c.SigmaLM(),
+		SingleNodePFSWrite: c.IO.SingleNodePFSWriteTime(perNode),
+		FullPFSWrite:       c.IO.PFSWriteTime(nodes, perNode),
+		RecoveryBB:         math.Max(c.IO.BBReadTime(perNode), c.IO.SingleNodePFSReadTime(perNode)),
+		RecoveryPFS:        c.IO.PFSReadTime(nodes, perNode),
+	}
+}

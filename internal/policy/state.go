@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"pckpt/internal/failure"
+	"pckpt/internal/queue"
+)
+
+// Event aliases the failure-stream event type: the policy hooks consume
+// the same events the tiers inject, without re-modelling them.
+type Event = failure.Event
+
+// Prediction is one outstanding true prediction as the lifecycle state
+// tracks it.
+type Prediction struct {
+	Node   int
+	FailAt float64
+	Lead   float64
+}
+
+// Migration is one in-flight live migration. The tier schedules its
+// completion callback; the state machine owns the abort flag so a p-ckpt
+// episode or a failure can void it (Fig. 5).
+type Migration struct {
+	Ev      failure.Event
+	Aborted bool
+}
+
+// Episode is a live p-ckpt episode: the lead-time priority queue of
+// vulnerable nodes (used by the application-level tier; the node tier
+// realises the ordering as a priority resource instead), the progress the
+// episode snapshots, and its commit/abandon bookkeeping.
+type Episode struct {
+	Q             queue.PQ[failure.Event]
+	StartProgress float64
+	Committed     int
+	Abandoned     bool
+}
+
+// FailureOutcome reports what FailureStruck did, for the tier's
+// accounting.
+type FailureOutcome struct {
+	// MigrationAborted is true when the failed node died mid-migration.
+	MigrationAborted bool
+	// Mitigated is true when a proactive checkpoint covered this failure;
+	// MitigatedAt is the PFS-recoverable progress it committed.
+	Mitigated   bool
+	MitigatedAt float64
+}
+
+// State is the C/R lifecycle state machine both simulation tiers share:
+// fail-epoch voiding of blocked activities, BB→PFS drain generations,
+// checkpoint placement, episodes, migrations, and the prediction /
+// mitigation / avoidance ledgers. The tiers keep only genuinely
+// tier-specific state (simulated processes, cluster membership, banked
+// compute) next to it.
+type State struct {
+	// epoch increments on every failure. A blocking activity (BB write,
+	// safeguard, episode write, recovery) that observes the epoch change
+	// mid-wait is void: the state it was saving rolled back. A counter
+	// (not a flag) so that nested handling — a recovery running inside
+	// the interrupted activity's wait — cannot mask the abort.
+	epoch int
+	// rescheduled is raised when a proactive action committed a full
+	// checkpoint, so the compute loop re-bases its next periodic one.
+	rescheduled bool
+	// bbProgress / pfsProgress are the newest BB-staged and fully
+	// PFS-resident coordinated checkpoints (-1 = none yet).
+	bbProgress  float64
+	pfsProgress float64
+	// drainGen / drainsInFlight: each BB write restarts the drain of the
+	// newest data; superseded drains count as in flight until their
+	// completion callback runs (the drain queue depth metrics track).
+	drainGen       int
+	drainsInFlight int
+
+	predicted   map[int64]Prediction // outstanding true predictions
+	mitigatedAt map[int64]float64    // failure ID → PFS-recoverable progress
+	avoided     map[int64]bool       // failure IDs neutralised by LM
+	migrations  map[int]*Migration   // node → in-flight migration
+	episode     *Episode             // non-nil while a p-ckpt episode runs
+}
+
+// NewState returns the start-of-run lifecycle state.
+func NewState() *State {
+	return &State{
+		bbProgress:  -1,
+		pfsProgress: -1,
+		predicted:   make(map[int64]Prediction),
+		mitigatedAt: make(map[int64]float64),
+		avoided:     make(map[int64]bool),
+		migrations:  make(map[int]*Migration),
+	}
+}
+
+// Epoch returns the current fail epoch. Blocking activities snapshot it
+// before waiting and treat a change as "this activity is void".
+func (s *State) Epoch() int { return s.epoch }
+
+// RecordPrediction records an outstanding true prediction.
+func (s *State) RecordPrediction(id int64, p Prediction) { s.predicted[id] = p }
+
+// ForgetPrediction drops a prediction (failure struck, or LM avoided it).
+func (s *State) ForgetPrediction(id int64) { delete(s.predicted, id) }
+
+// EachPrediction visits every outstanding prediction (M1's safeguard
+// marks all those whose failure has not struck yet as mitigated).
+func (s *State) EachPrediction(fn func(id int64, p Prediction)) {
+	for id, p := range s.predicted {
+		fn(id, p)
+	}
+}
+
+// Migrating reports whether node has a migration in flight.
+func (s *State) Migrating(node int) bool { return s.migrations[node] != nil }
+
+// StartMigration registers an in-flight migration for ev's node and
+// returns its handle (the tier schedules the completion callback).
+func (s *State) StartMigration(ev failure.Event) *Migration {
+	m := &Migration{Ev: ev}
+	s.migrations[ev.Node] = m
+	return m
+}
+
+// FinishMigration completes a migration at its scheduled time: it
+// reports false if the migration was aborted meanwhile, otherwise it
+// deregisters it and reports true (the tier then credits the avoidance).
+func (s *State) FinishMigration(m *Migration) bool {
+	if m.Aborted {
+		return false
+	}
+	delete(s.migrations, m.Ev.Node)
+	return true
+}
+
+// AbortMigrations cancels every in-flight migration (a p-ckpt request
+// supersedes them per the Fig. 5 state diagram), invoking each for every
+// cancelled migration's originating event so the tier can account the
+// abort and requeue the node as vulnerable.
+func (s *State) AbortMigrations(each func(ev failure.Event)) {
+	for node, m := range s.migrations {
+		m.Aborted = true
+		delete(s.migrations, node)
+		each(m.Ev)
+	}
+}
+
+// BeginEpisode opens a p-ckpt episode snapshotting the given progress.
+func (s *State) BeginEpisode(progress float64) *Episode {
+	s.episode = &Episode{StartProgress: progress}
+	return s.episode
+}
+
+// Episode returns the live episode, or nil.
+func (s *State) Episode() *Episode { return s.episode }
+
+// EndEpisode closes the live episode (deferred by the tier's episode
+// runner, completed or abandoned alike).
+func (s *State) EndEpisode() { s.episode = nil }
+
+// MarkAvoided records that a completed live migration neutralised the
+// failure with this ID; the injector will swallow it.
+func (s *State) MarkAvoided(id int64) { s.avoided[id] = true }
+
+// ConsumeAvoided reports and clears the avoidance mark for a failure.
+func (s *State) ConsumeAvoided(id int64) bool {
+	if !s.avoided[id] {
+		return false
+	}
+	delete(s.avoided, id)
+	return true
+}
+
+// Mitigate records that a proactive checkpoint committed the state at
+// progress before the predicted failure with this ID struck.
+func (s *State) Mitigate(id int64, progress float64) { s.mitigatedAt[id] = progress }
+
+// FailureStruck applies the model-independent failure transition: the
+// prediction ledger forgets the failure, the node's in-flight migration
+// (if any) aborts, the live episode (if any) is abandoned, the fail
+// epoch advances (voiding every blocked activity), and the mitigation —
+// if one covered this failure — is taken exactly once.
+func (s *State) FailureStruck(ev failure.Event) FailureOutcome {
+	var out FailureOutcome
+	delete(s.predicted, ev.ID)
+	if m := s.migrations[ev.Node]; m != nil {
+		// The node died mid-migration (only possible for a second,
+		// unpredicted failure, or an under-lead race): the migration is
+		// void.
+		m.Aborted = true
+		delete(s.migrations, ev.Node)
+		out.MigrationAborted = true
+	}
+	if s.episode != nil {
+		s.episode.Abandoned = true
+	}
+	s.epoch++
+	if q, ok := s.mitigatedAt[ev.ID]; ok {
+		delete(s.mitigatedAt, ev.ID)
+		out.Mitigated, out.MitigatedAt = true, q
+	}
+	return out
+}
+
+// BeginDrain starts the asynchronous BB→PFS drain of the newest
+// coordinated checkpoint, superseding any drain still in flight. It
+// returns the new drain generation and the updated in-flight depth.
+func (s *State) BeginDrain() (gen, depth int) {
+	s.drainGen++
+	s.drainsInFlight++
+	return s.drainGen, s.drainsInFlight
+}
+
+// FinishDrain completes a drain at its scheduled time, returning the
+// updated depth and whether the drain is still current (a newer BB write
+// supersedes older drains; each write restarts the drain of the newest
+// data).
+func (s *State) FinishDrain(gen int) (depth int, current bool) {
+	s.drainsInFlight--
+	return s.drainsInFlight, gen == s.drainGen
+}
+
+// DrainsInFlight returns the current drain queue depth.
+func (s *State) DrainsInFlight() int { return s.drainsInFlight }
+
+// CommitBB records a coordinated checkpoint at progress as staged on the
+// burst buffers.
+func (s *State) CommitBB(progress float64) { s.bbProgress = progress }
+
+// CommitPFS records a full-application checkpoint at progress as
+// PFS-resident, if it is newer than the one already there; it reports
+// whether the placement advanced.
+func (s *State) CommitPFS(progress float64) bool {
+	if progress > s.pfsProgress {
+		s.pfsProgress = progress
+		return true
+	}
+	return false
+}
+
+// BBProgress returns the newest BB-staged progress (-1 = none).
+func (s *State) BBProgress() float64 { return s.bbProgress }
+
+// PFSProgress returns the newest PFS-resident progress (-1 = none).
+func (s *State) PFSProgress() float64 { return s.pfsProgress }
+
+// MarkRescheduled raises the adaptive-schedule flag after a proactive
+// full-PFS commit.
+func (s *State) MarkRescheduled() { s.rescheduled = true }
+
+// TakeRescheduled reports and clears the adaptive-schedule flag.
+func (s *State) TakeRescheduled() bool {
+	r := s.rescheduled
+	s.rescheduled = false
+	return r
+}
+
+// BestRestart resolves the restart point after a failure: the proactive
+// commit that mitigated it, or the tier's newest consistent checkpoint
+// progress q — whichever is fresher. It returns the restart progress
+// (clamped to 0: no checkpoint yet restarts from the beginning) and
+// whether recovery restores every node from the PFS (the mitigated path,
+// Sec. II) rather than the BB-assisted path.
+func BestRestart(q float64, out FailureOutcome) (progress float64, fromPFS bool) {
+	if out.Mitigated && out.MitigatedAt >= q {
+		q = out.MitigatedAt
+		fromPFS = true
+	}
+	if q < 0 {
+		q = 0
+	}
+	return q, fromPFS
+}
