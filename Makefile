@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check crossval bench ci
+.PHONY: build test race vet fmt-check crossval golden golden-update cachepass bench ci
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,14 +27,41 @@ fmt-check:
 crossval:
 	$(GO) test -run TestCrossValidation -race ./...
 
+# golden replays every registered experiment at the pinned regression
+# parameters and compares each table cell against the committed goldens.
+golden:
+	$(GO) test -race -timeout 30m -count=1 -run TestGolden ./internal/experiments
+
+# golden-update regenerates testdata/golden after an intentional
+# behaviour change; review the diff before committing.
+golden-update:
+	$(GO) test -count=1 -run TestGolden -update ./internal/experiments
+
+# cachepass runs the cross-process cold-then-warm result-cache check:
+# the same test twice against one shared cache directory — the first
+# invocation simulates and populates, the second must resolve every
+# configuration from disk and match an uncached reference bit-for-bit.
+cachepass:
+	@dir=$$(mktemp -d); \
+	$(GO) test -race -timeout 30m -count=1 -run TestCacheColdWarm ./internal/experiments -cachedir $$dir && \
+	$(GO) test -race -timeout 30m -count=1 -run TestCacheColdWarm ./internal/experiments -cachedir $$dir; \
+	rc=$$?; rm -rf $$dir; exit $$rc
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # ci is the full gate: formatting, vet, build, the race-enabled test
-# suite, and a dedicated race pass over the tier cross-validation.
+# suite, a dedicated race pass over the tier cross-validation, the
+# golden-table regression suite, and the cold-then-warm cache pass.
+# The broad race pass runs -short: the golden suite and the worker
+# determinism sweep skip there (the goldens get a dedicated race pass
+# below; both run unraced in `test`), which keeps the slowest package
+# inside the per-package timeout.
 ci:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
-	$(GO) test -run TestCrossValidation -race ./...
+	$(GO) test -race -short -timeout 30m ./...
+	$(GO) test -run TestCrossValidation -race -timeout 30m ./...
+	$(MAKE) golden
+	$(MAKE) cachepass

@@ -6,6 +6,7 @@
 //	experiments -run fig6a -runs 1000
 //	experiments -run all -runs 200 -apps CHIMERA,XGC,POP
 //	experiments -run fig6a -metrics -metrics-out fig6a-metrics.json
+//	experiments -run all -runs 1000 -cache /var/tmp/pckpt-cache -cache-stats
 //
 // Each experiment prints the same rows/series the paper reports; -values
 // appends the machine-readable headline numbers used by the test suite.
@@ -14,18 +15,30 @@
 // lead-time consumption), prints the merged summary, and writes the JSON
 // snapshot. -cpuprofile/-memprofile capture pprof profiles of the whole
 // invocation.
+//
+// Sweeps are resumable: every completed configuration is flushed to the
+// content-addressed result cache (-cache DIR, on by default) the moment
+// it finishes, so SIGINT/SIGTERM aborts at the next configuration
+// boundary with the completed prefix preserved — rerunning the same
+// command skips straight to the unfinished tail. -no-cache disables the
+// cache, -cache-stats prints per-experiment hit/miss accounting.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"syscall"
 
 	"pckpt/internal/experiments"
 	"pckpt/internal/metrics"
+	"pckpt/internal/runcache"
 )
 
 func main() {
@@ -39,6 +52,9 @@ func main() {
 		values     = flag.Bool("values", false, "also print machine-readable headline values")
 		meter      = flag.Bool("metrics", false, "meter simulation runs and print the merged metrics summary")
 		metricsOut = flag.String("metrics-out", "pckpt-metrics.json", "metrics snapshot JSON path (with -metrics)")
+		cacheDir   = flag.String("cache", ".pckpt-cache", "result cache directory (makes sweeps resumable)")
+		noCache    = flag.Bool("no-cache", false, "disable the result cache")
+		cacheStats = flag.Bool("cache-stats", false, "print per-experiment cache hit/miss accounting on exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -69,6 +85,24 @@ func main() {
 	if *meter {
 		p.Metrics = metrics.NewCollector()
 	}
+	if !*noCache && *cacheDir != "" {
+		store, err := runcache.Open(*cacheDir)
+		exitOn(err)
+		p.Cache = store
+	}
+
+	// SIGINT/SIGTERM abort the sweep at the next configuration boundary;
+	// the completed prefix is already flushed to the cache. A second
+	// signal kills the process outright (default disposition restored).
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		signal.Stop(sigCh)
+		close(interrupt)
+	}()
+	p.Interrupt = interrupt
 
 	var defs []experiments.Def
 	if *run == "all" {
@@ -82,7 +116,20 @@ func main() {
 	}
 
 	for _, d := range defs {
-		r := d.Run(p)
+		r, err := experiments.Run(d, p)
+		if errors.Is(err, experiments.ErrInterrupted) {
+			if *cacheStats {
+				printCacheStats(p.Cache)
+			}
+			if p.Cache != nil {
+				fmt.Fprintf(os.Stderr, "interrupted during %s: %d completed configuration(s) cached in %s; rerun the same command to resume\n",
+					d.ID, p.Cache.Entries(), p.Cache.Dir())
+			} else {
+				fmt.Fprintf(os.Stderr, "interrupted during %s (cache disabled; completed work discarded)\n", d.ID)
+			}
+			os.Exit(130)
+		}
+		exitOn(err)
 		fmt.Printf("=== %s (%s)\n\n%s\n", r.Title, r.ID, r.Text)
 		if *values {
 			fmt.Println(experiments.RenderResultValues(r))
@@ -95,6 +142,31 @@ func main() {
 		exitOn(snap.WriteJSON(*metricsOut))
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
+	if *cacheStats {
+		printCacheStats(p.Cache)
+	}
+}
+
+// printCacheStats renders the per-experiment hit/miss table.
+func printCacheStats(store *runcache.Store) {
+	if store == nil {
+		fmt.Println("=== cache: disabled")
+		return
+	}
+	per := store.PerExperiment()
+	ids := make([]string, 0, len(per))
+	for id := range per {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Printf("=== cache %s (%d entries on disk)\n\n", store.Dir(), store.Entries())
+	fmt.Printf("%-12s %6s %6s %6s %6s\n", "experiment", "hits", "misses", "puts", "evict")
+	for _, id := range ids {
+		s := per[id]
+		fmt.Printf("%-12s %6d %6d %6d %6d\n", id, s.Hits, s.Misses, s.Puts, s.Evictions)
+	}
+	t := store.Totals()
+	fmt.Printf("%-12s %6d %6d %6d %6d\n", "total", t.Hits, t.Misses, t.Puts, t.Evictions)
 }
 
 // writeMemProfile dumps the post-GC heap; deferred so it sees the whole

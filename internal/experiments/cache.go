@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"errors"
+
+	"pckpt/internal/metrics"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/runcache"
+	"pckpt/internal/stats"
+)
+
+// ErrInterrupted is returned by Run when the sweep was aborted at a
+// configuration boundary via Params.Interrupt. Every configuration
+// completed before the abort has already been flushed to the cache, so
+// rerunning the same sweep against the same cache directory resumes at
+// the unfinished tail.
+var ErrInterrupted = errors.New("experiments: sweep interrupted")
+
+// Run executes one registry entry with cache bookkeeping: the registry
+// ID is stamped into Params as the cache-key namespace, and an
+// interrupt (Params.Interrupt closed before an un-cached configuration)
+// surfaces as ErrInterrupted instead of a panic. Calling a Def's Run
+// function directly remains supported — it simply skips both services.
+func Run(d Def, p Params) (res Result, err error) {
+	p.Experiment = d.ID
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ErrInterrupted) {
+				err = ErrInterrupted
+				return
+			}
+			panic(r)
+		}
+	}()
+	return d.Run(p), nil
+}
+
+// cacheKey assembles the content-address for one configuration. Workers
+// is deliberately excluded (TestWorkersDeterminism guards that results
+// are worker-count independent); runs is a parameter because crossval
+// scales its run count down from p.Runs.
+func (p Params) cacheKey(label string, id policy.ID, plat platform.Config, runs int) runcache.Key {
+	return runcache.Key{
+		Experiment:  p.Experiment,
+		Label:       label,
+		Policy:      id.String(),
+		Platform:    plat.CanonicalString(),
+		Runs:        runs,
+		Seed:        p.Seed,
+		Fingerprint: runcache.Fingerprint(),
+	}
+}
+
+// cacheGet resolves a key against the cache, folding a stored metrics
+// snapshot into the collector on a hit. needMetrics demands a snapshot:
+// a metered sweep must not silently lose metrics to an entry cached by
+// an un-metered one (the recompute's Put upgrades the entry instead).
+func (p Params) cacheGet(key runcache.Key, needMetrics bool) (*stats.Agg, bool) {
+	if p.Cache == nil {
+		return nil, false
+	}
+	agg, snap, ok := p.Cache.Get(key, needMetrics)
+	if !ok {
+		return nil, false
+	}
+	p.Metrics.Add(snap)
+	return agg, true
+}
+
+// cachePut flushes a freshly simulated aggregate. Write errors are
+// deliberately fatal: a half-functional cache that silently drops
+// entries would break the resume contract.
+func (p Params) cachePut(key runcache.Key, agg *stats.Agg, snap *metrics.Snapshot) {
+	if p.Cache == nil {
+		return
+	}
+	if err := p.Cache.Put(key, agg, snap); err != nil {
+		panic(err)
+	}
+}
+
+// checkInterrupt aborts the sweep (via ErrInterrupted, recovered in Run)
+// when Params.Interrupt has been closed. Called only in front of actual
+// simulation work, so cached configurations keep resolving after the
+// signal — exactly what lets an interrupted rerun fast-forward through
+// its completed prefix.
+func (p Params) checkInterrupt() {
+	if p.Interrupt == nil {
+		return
+	}
+	select {
+	case <-p.Interrupt:
+		panic(ErrInterrupted)
+	default:
+	}
+}

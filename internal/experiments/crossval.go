@@ -37,8 +37,8 @@ func CrossValidation(p Params) Result {
 		if !nodeT.Supports(id) {
 			continue
 		}
-		aAgg := SimulateTierN(appT, id, plat, runs, p.Seed, p.Workers)
-		nAgg := SimulateTierN(nodeT, id, plat, runs, p.Seed, p.Workers)
+		aAgg := runTier(p, appT, id, plat, runs, p.Seed)
+		nAgg := runTier(p, nodeT, id, plat, runs, p.Seed)
 		var aF, nF, aM, nM, aA, nA int
 		for i, ar := range aAgg.Runs() {
 			nr := nAgg.Runs()[i]

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The result cache keys configurations WITHOUT the worker count: the
+// whole design rests on Workers=1 and Workers=N producing identical
+// results for the same seed. This test pins that invariant on a
+// representative experiment subset — an app-granularity sweep over
+// every model (fig6a), a lead-scale sweep (fig4), and the dual-tier
+// runner (crossval, which exercises SimulateTierN on both tiers).
+func TestWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism replay is not -short")
+	}
+	cases := []struct {
+		id string
+		p  Params
+	}{
+		{"fig6a", Params{Runs: 30, Seed: 42, Apps: []string{"CHIMERA"}}},
+		{"fig4", Params{Runs: 30, Seed: 42, Apps: []string{"XGC"}}},
+		{"crossval", Params{Runs: 48, Seed: 42}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			d, err := ByID(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := tc.p
+			serial.Workers = 1
+			parallel := tc.p
+			parallel.Workers = 8
+			r1 := d.Run(serial)
+			r2 := d.Run(parallel)
+			if r1.Text != r2.Text {
+				t.Errorf("rendered text differs between Workers=1 and Workers=8:\n--- serial\n%s\n--- parallel\n%s", r1.Text, r2.Text)
+			}
+			if !reflect.DeepEqual(r1.Values, r2.Values) {
+				t.Error("machine-readable values differ between Workers=1 and Workers=8")
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/metrics"
 	"pckpt/internal/platform"
+	"pckpt/internal/runcache"
 	"pckpt/internal/stats"
 	"pckpt/internal/workload"
 )
@@ -41,6 +42,23 @@ type Params struct {
 	// internal/metrics). Metering adds per-run registries but keeps the
 	// simulation hot path allocation-free.
 	Metrics *metrics.Collector
+	// Cache, when non-nil, is consulted before every configuration is
+	// simulated and receives every freshly simulated aggregate, making
+	// sweeps resumable (see internal/runcache). Cache keys exclude
+	// Workers (results are worker-count independent) and Apps (the app
+	// filter selects configurations, it does not change any one
+	// configuration's identity).
+	Cache *runcache.Store
+	// Experiment namespaces cache keys with the registry ID. Run stamps
+	// it; leave empty when calling a Def's Run function directly and the
+	// cache will key under the experiment-agnostic "" namespace.
+	Experiment string
+	// Interrupt, when non-nil, aborts the sweep at the next
+	// configuration boundary once closed: already-cached configurations
+	// still resolve, the first un-cached one panics with ErrInterrupted
+	// (recovered by Run). Completed configurations are already flushed
+	// to Cache, so a rerun resumes at the unfinished tail.
+	Interrupt <-chan struct{}
 }
 
 func (p Params) withDefaults() Params {
@@ -143,14 +161,24 @@ func configSeed(base uint64, label string) uint64 {
 	return h
 }
 
-// runConfig simulates one (model, app, …) configuration, metering it
-// into p.Metrics when collection is on.
+// runConfig resolves one (model, app, …) configuration: from the cache
+// when possible, by simulation otherwise (metering into p.Metrics when
+// collection is on, and flushing the fresh aggregate back to the cache).
 func runConfig(p Params, cfg crmodel.Config, label string) *stats.Agg {
-	if p.Metrics == nil {
-		return crmodel.SimulateNWorkers(cfg, p.Runs, configSeed(p.Seed, label), p.Workers)
+	key := p.cacheKey(label, cfg.Model, cfg.Config, p.Runs)
+	if agg, ok := p.cacheGet(key, p.Metrics != nil); ok {
+		return agg
 	}
-	agg, snap := crmodel.SimulateNMetered(cfg, p.Runs, configSeed(p.Seed, label), p.Workers)
+	p.checkInterrupt()
+	seed := configSeed(p.Seed, label)
+	if p.Metrics == nil {
+		agg := crmodel.SimulateNWorkers(cfg, p.Runs, seed, p.Workers)
+		p.cachePut(key, agg, nil)
+		return agg
+	}
+	agg, snap := crmodel.SimulateNMetered(cfg, p.Runs, seed, p.Workers)
 	p.Metrics.Add(snap)
+	p.cachePut(key, agg, snap)
 	return agg
 }
 

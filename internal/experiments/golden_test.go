@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// updateGolden rewrites the committed goldens from the current code:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from current results")
+
+// goldenParams pins the regression configuration: small enough that the
+// whole registry replays in seconds, large enough that every table has
+// failures, migrations, and episodes in it.
+var goldenParams = Params{Runs: 25, Seed: 42, SeedSet: true}
+
+// golden is the committed form of one experiment's machine-readable
+// cells. Text is deliberately not compared byte-for-byte — the cells are
+// the contract, rendering is free to evolve — but its goldens keep it
+// for human diffing.
+type golden struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Values map[string]float64 `json:"values"`
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".json")
+}
+
+// cellClose compares one golden cell within per-cell relative tolerance,
+// with an absolute floor for near-zero cells (percent reductions cross
+// zero, where relative error is meaningless).
+func cellClose(want, got float64) bool {
+	if want == got {
+		return true
+	}
+	return math.Abs(want-got) <= 1e-7+1e-6*math.Max(math.Abs(want), math.Abs(got))
+}
+
+// TestGolden replays every registered experiment at the pinned
+// parameters and compares each machine-readable cell against the
+// committed golden. Any intentional behaviour change regenerates the
+// goldens with -update and reviews the diff — that diff IS the review
+// artifact for "did my change move the paper's numbers".
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay of the full registry is not -short")
+	}
+	for _, d := range All() {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			r := d.Run(goldenParams)
+			if r.Text == "" {
+				t.Fatal("experiment rendered no text")
+			}
+			if *updateGolden {
+				writeGolden(t, r)
+				return
+			}
+			data, err := os.ReadFile(goldenPath(d.ID))
+			if err != nil {
+				t.Fatalf("no golden for %s (run with -update to create): %v", d.ID, err)
+			}
+			var want golden
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("golden unparsable: %v", err)
+			}
+			if want.ID != r.ID || want.Title != r.Title {
+				t.Errorf("identity drifted: golden (%s, %q) vs result (%s, %q)", want.ID, want.Title, r.ID, r.Title)
+			}
+			compareCells(t, want.Values, r.Values)
+		})
+	}
+}
+
+// compareCells diffs two cell maps, reporting missing, extra, and
+// out-of-tolerance cells by name.
+func compareCells(t *testing.T, want, got map[string]float64) {
+	t.Helper()
+	keys := make(map[string]bool, len(want)+len(got))
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var failures int
+	for _, k := range sorted {
+		w, inWant := want[k]
+		g, inGot := got[k]
+		switch {
+		case !inWant:
+			t.Errorf("new cell %q = %g not in golden (regenerate with -update)", k, g)
+		case !inGot:
+			t.Errorf("golden cell %q = %g no longer produced", k, w)
+		case !cellClose(w, g):
+			t.Errorf("cell %q: golden %g, got %g (Δ %g)", k, w, g, g-w)
+		default:
+			continue
+		}
+		if failures++; failures >= 20 {
+			t.Fatalf("stopping after %d cell failures", failures)
+		}
+	}
+}
+
+// writeGolden rewrites one experiment's golden file.
+func writeGolden(t *testing.T, r Result) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath(r.ID)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(golden{ID: r.ID, Title: r.Title, Values: r.Values}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(r.ID), append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("golden: wrote %s (%d cells)\n", goldenPath(r.ID), len(r.Values))
+}

@@ -52,6 +52,23 @@ func NodeTier() Tier {
 // Tiers lists both granularities.
 func Tiers() []Tier { return []Tier{AppTier(), NodeTier()} }
 
+// runTier is SimulateTierN behind the result cache: the tier name joins
+// the per-configuration label so the two granularities of one catalogue
+// entry never collide, and a fresh aggregate is flushed back to the
+// cache (tier runs are never metered, so no snapshot is stored or
+// required).
+func runTier(p Params, t Tier, id policy.ID, plat platform.Config, n int, baseSeed uint64) *stats.Agg {
+	key := p.cacheKey("tier="+t.Name, id, plat, n)
+	key.Seed = baseSeed
+	if agg, ok := p.cacheGet(key, false); ok {
+		return agg
+	}
+	p.checkInterrupt()
+	agg := SimulateTierN(t, id, plat, n, baseSeed, p.Workers)
+	p.cachePut(key, agg, nil)
+	return agg
+}
+
 // SimulateTierN runs n seeds of one catalogue entry on a tier, drawing
 // the identical crmodel.RunSeed sequence either tier's native runner
 // would use, so per-seed results are comparable across tiers. Results

@@ -1,0 +1,49 @@
+package runcache
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+var (
+	fingerprintOnce sync.Once
+	fingerprint     string
+)
+
+// Fingerprint returns the code fingerprint stamped into every cache key:
+// the main module's path, version, and checksum from the build info,
+// plus the VCS revision and dirty bit when the binary was built with
+// them. A release binary therefore invalidates the whole cache on any
+// code change; a development build (`go run`, `go test`) reports
+// "(devel)" with no revision, so code edits between runs are NOT
+// detected — use a fresh cache directory (or -no-cache) after changing
+// simulation code in a working tree. The rule is documented in
+// DESIGN.md.
+func Fingerprint() string {
+	fingerprintOnce.Do(func() {
+		fingerprint = buildFingerprint()
+	})
+	return fingerprint
+}
+
+// buildFingerprint derives the fingerprint from debug.ReadBuildInfo.
+func buildFingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "no-build-info"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", bi.Main.Path, bi.Main.Version)
+	if bi.Main.Sum != "" {
+		fmt.Fprintf(&b, "+%s", bi.Main.Sum)
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.modified":
+			fmt.Fprintf(&b, "|%s=%s", s.Key, s.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,329 @@
+// Package runcache is a content-addressed, on-disk store for simulated
+// experiment configurations: the resumable layer under cmd/experiments.
+//
+// Every (experiment, configuration) pair the sweep simulates is keyed by
+// a canonical hash of the experiment ID, the run parameters (minus the
+// worker count, which a determinism test guarantees cannot change
+// results), the platform configuration's canonical rendering, the policy
+// ID, and a code fingerprint derived from the module build info. The
+// stored value is the full serialized stats.Agg (plus the merged metrics
+// snapshot when the run was metered), so a cache hit reproduces the
+// original simulation's output exactly — including every derived table
+// cell — without executing a single run.
+//
+// The store is crash- and interrupt-safe by construction: each blob is
+// written atomically (temp file + rename) the moment its configuration
+// completes, and reads go straight to the blob file, so a sweep killed
+// mid-flight leaves a valid store holding exactly the completed prefix.
+// An append-only index (index.jsonl, one JSON line per store) records
+// what was cached and when for humans and tooling; blobs stay
+// authoritative, so a torn index line is never trusted for reads.
+// Corrupt or truncated blobs are detected via a payload checksum,
+// evicted, and transparently recomputed by the caller.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"pckpt/internal/metrics"
+	"pckpt/internal/stats"
+)
+
+// Key identifies one simulated configuration. All fields participate in
+// the content address; see Canonical for the exact layout.
+type Key struct {
+	// Experiment is the registry ID namespace ("fig6a", "crossval", ...).
+	Experiment string
+	// Label is the experiment's per-configuration label (app, system,
+	// lead scale, ... — whatever the experiment used to derive the
+	// configuration seed).
+	Label string
+	// Policy is the C/R policy ID ("B", "P2", ...).
+	Policy string
+	// Platform is platform.Config.CanonicalString() of the configuration.
+	Platform string
+	// Runs and Seed are the effective run count and base seed. The
+	// worker count is deliberately absent: run aggregation is seed-
+	// ordered, so results are worker-count independent (guarded by
+	// TestWorkersDeterminism in internal/experiments).
+	Runs int
+	Seed uint64
+	// Fingerprint ties the entry to the code that produced it (see
+	// Fingerprint()).
+	Fingerprint string
+}
+
+// Canonical renders the key as versioned, newline-delimited text — the
+// preimage of Hash. The multi-line Platform rendering sits last so the
+// fixed-position fields above it stay self-delimiting.
+func (k Key) Canonical() string {
+	var b strings.Builder
+	b.WriteString("runcache/v1\n")
+	fmt.Fprintf(&b, "experiment=%s\n", k.Experiment)
+	fmt.Fprintf(&b, "label=%s\n", k.Label)
+	fmt.Fprintf(&b, "policy=%s\n", k.Policy)
+	fmt.Fprintf(&b, "runs=%d\n", k.Runs)
+	fmt.Fprintf(&b, "seed=%d\n", k.Seed)
+	fmt.Fprintf(&b, "fingerprint=%s\n", k.Fingerprint)
+	b.WriteString("platform:\n")
+	b.WriteString(k.Platform)
+	return b.String()
+}
+
+// Hash returns the content address: hex SHA-256 of the canonical text.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Stats counts cache traffic. Hits/Misses/Puts/Evictions are cumulative
+// over a Store's lifetime (one process; the on-disk store itself is
+// shared across processes).
+type Stats struct {
+	Hits, Misses, Puts, Evictions int
+}
+
+// add folds o into s.
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Puts += o.Puts
+	s.Evictions += o.Evictions
+}
+
+// Store is an opened cache directory. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	total  Stats
+	perExp map[string]Stats
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runcache: empty cache directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	return &Store{dir: dir, perExp: make(map[string]Stats)}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// blob is the on-disk envelope of one entry. Key holds the full
+// canonical text (collision and corruption guard); Check is the hex
+// SHA-256 of the Agg bytes, a newline, and the Metrics bytes.
+type blob struct {
+	Key     string          `json:"key"`
+	Check   string          `json:"check"`
+	Agg     json.RawMessage `json:"agg"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// payloadCheck computes the blob checksum over the serialized payloads.
+func payloadCheck(agg, met json.RawMessage) string {
+	h := sha256.New()
+	h.Write(agg)
+	h.Write([]byte{'\n'})
+	h.Write(met)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path returns the blob path for a hash, sharded by its first byte.
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash+".json")
+}
+
+// Get looks a key up. With needMetrics set, an entry stored without a
+// metrics snapshot counts as a miss (it cannot serve a metered sweep);
+// the caller's recompute-and-Put then upgrades the entry in place.
+// Corrupt entries — unparsable envelope, canonical-key mismatch,
+// checksum mismatch, or unparsable payloads — are evicted from disk and
+// reported as misses, never trusted.
+func (s *Store) Get(k Key, needMetrics bool) (*stats.Agg, *metrics.Snapshot, bool) {
+	hash := k.Hash()
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		s.record(k.Experiment, Stats{Misses: 1})
+		return nil, nil, false
+	}
+	var bl blob
+	if err := json.Unmarshal(data, &bl); err != nil {
+		s.evict(k, hash)
+		return nil, nil, false
+	}
+	if bl.Key != k.Canonical() || bl.Check != payloadCheck(bl.Agg, bl.Metrics) {
+		s.evict(k, hash)
+		return nil, nil, false
+	}
+	if needMetrics && len(bl.Metrics) == 0 {
+		s.record(k.Experiment, Stats{Misses: 1})
+		return nil, nil, false
+	}
+	agg := &stats.Agg{}
+	if err := json.Unmarshal(bl.Agg, agg); err != nil {
+		s.evict(k, hash)
+		return nil, nil, false
+	}
+	var snap *metrics.Snapshot
+	if len(bl.Metrics) > 0 {
+		snap = &metrics.Snapshot{}
+		if err := json.Unmarshal(bl.Metrics, snap); err != nil {
+			s.evict(k, hash)
+			return nil, nil, false
+		}
+	}
+	s.record(k.Experiment, Stats{Hits: 1})
+	return agg, snap, true
+}
+
+// Put stores one completed configuration. The blob lands atomically
+// (temp file + rename), so a concurrent or interrupted reader never
+// observes a torn entry; an existing entry for the key is replaced.
+func (s *Store) Put(k Key, agg *stats.Agg, snap *metrics.Snapshot) error {
+	aggJSON, err := json.Marshal(agg)
+	if err != nil {
+		return fmt.Errorf("runcache: encode agg: %w", err)
+	}
+	var metJSON json.RawMessage
+	if snap != nil && !snap.Empty() {
+		if metJSON, err = json.Marshal(snap); err != nil {
+			return fmt.Errorf("runcache: encode metrics: %w", err)
+		}
+	}
+	bl := blob{
+		Key:     k.Canonical(),
+		Check:   payloadCheck(aggJSON, metJSON),
+		Agg:     aggJSON,
+		Metrics: metJSON,
+	}
+	data, err := json.Marshal(bl)
+	if err != nil {
+		return fmt.Errorf("runcache: encode blob: %w", err)
+	}
+	hash := k.Hash()
+	path := s.path(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	s.record(k.Experiment, Stats{Puts: 1})
+	s.appendIndex(k, hash, len(data))
+	return nil
+}
+
+// indexEntry is one line of index.jsonl.
+type indexEntry struct {
+	Hash       string `json:"hash"`
+	Experiment string `json:"experiment"`
+	Label      string `json:"label"`
+	Policy     string `json:"policy"`
+	Runs       int    `json:"runs"`
+	Seed       uint64 `json:"seed"`
+	Bytes      int    `json:"bytes"`
+	Created    string `json:"created"`
+}
+
+// appendIndex records a Put in the human-readable index. Best-effort:
+// the index is informational, blobs are authoritative, so index I/O
+// errors are swallowed rather than failing the sweep.
+func (s *Store) appendIndex(k Key, hash string, size int) {
+	line, err := json.Marshal(indexEntry{
+		Hash:       hash,
+		Experiment: k.Experiment,
+		Label:      k.Label,
+		Policy:     k.Policy,
+		Runs:       k.Runs,
+		Seed:       k.Seed,
+		Bytes:      size,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(filepath.Join(s.dir, "index.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Write(append(line, '\n'))
+}
+
+// evict removes a corrupt entry and accounts it as an eviction plus the
+// miss the caller is about to act on.
+func (s *Store) evict(k Key, hash string) {
+	os.Remove(s.path(hash))
+	s.record(k.Experiment, Stats{Misses: 1, Evictions: 1})
+}
+
+// record folds traffic into the total and per-experiment accounting.
+func (s *Store) record(experiment string, d Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total.add(d)
+	pe := s.perExp[experiment]
+	pe.add(d)
+	s.perExp[experiment] = pe
+}
+
+// Totals returns the cumulative traffic counters.
+func (s *Store) Totals() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// PerExperiment returns a copy of the per-experiment traffic counters.
+func (s *Store) PerExperiment() map[string]Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Stats, len(s.perExp))
+	for k, v := range s.perExp {
+		out[k] = v
+	}
+	return out
+}
+
+// Entries counts the blob files currently on disk (across every process
+// that ever wrote to the directory).
+func (s *Store) Entries() int {
+	n := 0
+	filepath.WalkDir(filepath.Join(s.dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

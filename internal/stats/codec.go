@@ -1,0 +1,42 @@
+package stats
+
+import "encoding/json"
+
+// Agg is persisted by internal/runcache, which makes its JSON encoding a
+// storage format: the full run list is serialized (not just the derived
+// means), so a decoded aggregate answers every query — MeanOverheads,
+// MeanFTRatio, TotalSummary, per-run inspection — exactly as the
+// original did. encoding/json renders float64s shortest-round-trip, so
+// the encode/decode cycle is lossless bit-for-bit.
+
+// aggJSON is the wire form of an Agg.
+type aggJSON struct {
+	Runs []RunResult `json:"runs"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *Agg) MarshalJSON() ([]byte, error) {
+	return json.Marshal(aggJSON{Runs: a.runs})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing any previously
+// recorded runs.
+func (a *Agg) UnmarshalJSON(data []byte) error {
+	var w aggJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	a.runs = w.Runs
+	return nil
+}
+
+// Merge appends o's runs to a (shard aggregation). Derived statistics of
+// the merged aggregate are independent of how runs were sharded:
+// associativity is exact, and commutativity holds up to float64
+// summation order (the property test in codec_test.go pins both).
+func (a *Agg) Merge(o *Agg) {
+	if o == nil {
+		return
+	}
+	a.runs = append(a.runs, o.runs...)
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randAgg builds an aggregate of n random runs.
+func randAgg(r *rand.Rand, n int) *Agg {
+	a := &Agg{}
+	for i := 0; i < n; i++ {
+		a.Add(RunResult{
+			Overheads: Overheads{
+				Checkpoint: r.Float64() * 1e4,
+				Recompute:  r.Float64() * 1e4,
+				Recovery:   r.Float64() * 1e3,
+			},
+			WallSeconds:       1e5 + r.Float64()*1e5,
+			Failures:          r.Intn(20),
+			Predicted:         r.Intn(20),
+			Mitigated:         r.Intn(10),
+			Avoided:           r.Intn(10),
+			Checkpoints:       r.Intn(400),
+			ProactiveCkpts:    r.Intn(40),
+			Migrations:        r.Intn(10),
+			AbortedMigrations: r.Intn(5),
+		})
+	}
+	return a
+}
+
+// Serialization makes Agg a persistence format: the encode/decode cycle
+// must be lossless, including every float64 bit pattern.
+func TestAggJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randAgg(r, r.Intn(40))
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		b := &Agg{}
+		if err := json.Unmarshal(data, b); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if a.N() != b.N() {
+			t.Fatalf("trial %d: N %d != %d", trial, a.N(), b.N())
+		}
+		for i, ar := range a.Runs() {
+			if !reflect.DeepEqual(ar, b.Runs()[i]) {
+				t.Fatalf("trial %d run %d: %+v != %+v", trial, i, ar, b.Runs()[i])
+			}
+		}
+	}
+}
+
+// A decoded aggregate must answer derived queries exactly as the
+// original (bitwise — same runs in the same order).
+func TestAggJSONRoundTripDerived(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := randAgg(r, 64)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Agg{}
+	if err := json.Unmarshal(data, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanOverheads() != b.MeanOverheads() {
+		t.Errorf("MeanOverheads: %v != %v", a.MeanOverheads(), b.MeanOverheads())
+	}
+	if a.MeanFTRatio() != b.MeanFTRatio() {
+		t.Errorf("MeanFTRatio: %v != %v", a.MeanFTRatio(), b.MeanFTRatio())
+	}
+	if a.MeanWallSeconds() != b.MeanWallSeconds() {
+		t.Errorf("MeanWallSeconds: %v != %v", a.MeanWallSeconds(), b.MeanWallSeconds())
+	}
+	if a.TotalSummary() != b.TotalSummary() {
+		t.Errorf("TotalSummary: %v != %v", a.TotalSummary(), b.TotalSummary())
+	}
+}
+
+// mergeAll folds shards left to right into a fresh aggregate.
+func mergeAll(shards ...*Agg) *Agg {
+	out := &Agg{}
+	for _, s := range shards {
+		out.Merge(s)
+	}
+	return out
+}
+
+// relClose compares within relative tolerance (summation order may
+// differ between merge orders, so bitwise equality is not guaranteed).
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Merge associativity is exact: (s1+s2)+s3 and s1+(s2+s3) concatenate
+// runs identically.
+func TestAggMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		s1, s2, s3 := randAgg(r, r.Intn(20)), randAgg(r, r.Intn(20)), randAgg(r, r.Intn(20))
+		left := mergeAll(mergeAll(s1, s2), s3)
+		right := mergeAll(s1, mergeAll(s2, s3))
+		if !reflect.DeepEqual(left.Runs(), right.Runs()) {
+			t.Fatalf("trial %d: associativity violated", trial)
+		}
+	}
+}
+
+// Merge commutativity holds for every derived statistic (up to float64
+// summation order): shard order must not change what the sweep reports.
+func TestAggMergeCommutativeDerived(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		shards := []*Agg{randAgg(r, 1+r.Intn(20)), randAgg(r, 1+r.Intn(20)), randAgg(r, 1+r.Intn(20)), randAgg(r, 1+r.Intn(20))}
+		fwd := mergeAll(shards...)
+		rev := mergeAll(shards[3], shards[1], shards[2], shards[0])
+		if fwd.N() != rev.N() {
+			t.Fatalf("trial %d: N %d != %d", trial, fwd.N(), rev.N())
+		}
+		// Pooled integer accounting is order-independent and exact.
+		if fwd.MeanFTRatio() != rev.MeanFTRatio() {
+			t.Errorf("trial %d: MeanFTRatio %v != %v", trial, fwd.MeanFTRatio(), rev.MeanFTRatio())
+		}
+		fo, ro := fwd.MeanOverheads(), rev.MeanOverheads()
+		if !relClose(fo.Checkpoint, ro.Checkpoint) || !relClose(fo.Recompute, ro.Recompute) || !relClose(fo.Recovery, ro.Recovery) {
+			t.Errorf("trial %d: MeanOverheads %v != %v", trial, fo, ro)
+		}
+		if !relClose(fwd.MeanWallSeconds(), rev.MeanWallSeconds()) {
+			t.Errorf("trial %d: MeanWallSeconds %v != %v", trial, fwd.MeanWallSeconds(), rev.MeanWallSeconds())
+		}
+		fs, rs := fwd.TotalSummary(), rev.TotalSummary()
+		if fs.N != rs.N || fs.Min != rs.Min || fs.Max != rs.Max || !relClose(fs.Mean, rs.Mean) || !relClose(fs.Std, rs.Std) {
+			t.Errorf("trial %d: TotalSummary %+v != %+v", trial, fs, rs)
+		}
+	}
+}
+
+// Merging a nil or empty shard is a no-op.
+func TestAggMergeEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	a := randAgg(r, 8)
+	want := a.N()
+	a.Merge(nil)
+	a.Merge(&Agg{})
+	if a.N() != want {
+		t.Fatalf("nil/empty merge changed N: %d != %d", a.N(), want)
+	}
+}
