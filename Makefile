@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check crossval golden golden-update cachepass bench ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-update cachepass bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,12 +47,29 @@ cachepass:
 	$(GO) test -race -timeout 30m -count=1 -run TestCacheColdWarm ./internal/experiments -cachedir $$dir; \
 	rc=$$?; rm -rf $$dir; exit $$rc
 
+# bench runs the full benchmark suite (paper tables/figures plus the
+# sim/queue/nodesim substrate micro-benchmarks) and writes the parsed
+# results as a machine-readable artefact; see EXPERIMENTS.md for the
+# schema and how to compare against the committed baseline.
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_LABEL ?= PR4
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
-# ci is the full gate: formatting, vet, build, the race-enabled test
-# suite, a dedicated race pass over the tier cross-validation, the
-# golden-table regression suite, and the cold-then-warm cache pass.
+# bench-smoke runs one iteration of every benchmark through the same
+# parser, so neither the benchmarks nor the harness can rot unnoticed.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -out /dev/null >/dev/null
+
+# errcheck flags discarded error returns (a bare `p.Wait(d)` statement)
+# in non-test code under internal/ — the class of bug vet misses.
+errcheck:
+	$(GO) run ./cmd/vet-ignored ./internal
+
+# ci is the full gate: formatting, vet, the ignored-interruptible-result
+# check, build, the race-enabled test suite, a dedicated race pass over
+# the tier cross-validation, the golden-table regression suite, the
+# cold-then-warm cache pass, and a one-iteration benchmark smoke run.
 # The broad race pass runs -short: the golden suite and the worker
 # determinism sweep skip there (the goldens get a dedicated race pass
 # below; both run unraced in `test`), which keeps the slowest package
@@ -60,8 +77,10 @@ bench:
 ci:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
+	$(MAKE) errcheck
 	$(GO) build ./...
 	$(GO) test -race -short -timeout 30m ./...
 	$(GO) test -run TestCrossValidation -race -timeout 30m ./...
 	$(MAKE) golden
 	$(MAKE) cachepass
+	$(MAKE) bench-smoke

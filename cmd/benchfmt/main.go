@@ -1,0 +1,231 @@
+// Command benchfmt turns `go test -bench` output into the machine-readable
+// benchmark artefact committed as BENCH_*.json. It reads benchmark output on
+// stdin, echoes every line through to stdout unchanged (so `make bench`
+// still shows the familiar text), and writes the parsed results as JSON to
+// the -out path.
+//
+// The JSON schema (versioned as "pckpt-bench/v1") is documented in
+// EXPERIMENTS.md; the intent is a committed perf trajectory: every PR runs
+// the same harness and compares its numbers against the previous PR's
+// artefact with `benchfmt -compare`.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run '^$' ./... | benchfmt -label PR4 -out BENCH_PR4.json
+//	benchfmt -compare BENCH_PR4_BASELINE.json,BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Pkg is the import path the benchmark ran in (from the "pkg:" header).
+	Pkg string `json:"pkg"`
+	// Name is the full benchmark name including sub-benchmark path, with
+	// the trailing -P GOMAXPROCS suffix stripped into Procs.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under.
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror -benchmem output.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every custom b.ReportMetric unit (events/sec, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the committed artefact.
+type File struct {
+	Schema string `json:"schema"`
+	// Label names the measurement point in the trajectory (e.g. "PR4").
+	Label  string      `json:"label,omitempty"`
+	Goos   string      `json:"goos,omitempty"`
+	Goarch string      `json:"goarch,omitempty"`
+	CPU    string      `json:"cpu,omitempty"`
+	Benchs []Benchmark `json:"benchmarks"`
+}
+
+const schema = "pckpt-bench/v1"
+
+func main() {
+	out := flag.String("out", "", "write parsed results as JSON to this path")
+	label := flag.String("label", "", "trajectory label stored in the artefact")
+	compare := flag.String("compare", "", "compare two artefacts: old.json,new.json (no stdin)")
+	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	f.Label = *label
+	if len(f.Benchs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchfmt: wrote %d benchmarks to %s\n", len(f.Benchs), *out)
+	}
+}
+
+// parse consumes benchmark output from r, echoing every line to echo.
+func parse(r *os.File, echo *os.File) (*File, error) {
+	f := &File{Schema: schema}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				b.Pkg = pkg
+				f.Benchs = append(f.Benchs, b)
+			}
+		}
+	}
+	return f, sc.Err()
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   1000000   1234 ns/op   120 B/op   3 allocs/op   5.6 events/sec
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// runCompare prints a per-benchmark delta table for "old.json,new.json".
+func runCompare(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants old.json,new.json, got %q", spec)
+	}
+	oldF, err := load(parts[0])
+	if err != nil {
+		return err
+	}
+	newF, err := load(parts[1])
+	if err != nil {
+		return err
+	}
+	olds := map[string]Benchmark{}
+	for _, b := range oldF.Benchs {
+		olds[b.Pkg+"."+b.Name] = b
+	}
+	fmt.Printf("%-64s %14s %14s %9s %9s\n", "benchmark", "ns/op old→new", "Δns/op", "allocs", "Δallocs")
+	for _, nb := range newF.Benchs {
+		key := nb.Pkg + "." + nb.Name
+		ob, ok := olds[key]
+		if !ok {
+			fmt.Printf("%-64s %14s (new)\n", key, fmtNs(nb.NsPerOp))
+			continue
+		}
+		fmt.Printf("%-64s %6s→%-7s %14s %9.0f %9s\n",
+			key, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta(ob.NsPerOp, nb.NsPerOp),
+			nb.AllocsPerOp, delta(ob.AllocsPerOp, nb.AllocsPerOp))
+	}
+	return nil
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func load(path string) (*File, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,104 @@
+// Command vet-ignored flags discarded error returns from the simulation
+// engine's interruptible blocking calls. `go vet` does not check unused
+// call results, and a bare statement like
+//
+//	p.Wait(cmd.dur)
+//
+// silently conflates "the wait expired" with "the phase was aborted by an
+// interrupt" — exactly the nodesim.nodeLoop bug this repository shipped.
+// Explicitly discarding with `_ = p.Wait(d)` is accepted: it states the
+// caller considered the abort path and chose to ignore it.
+//
+// The checker is deliberately type-free (pure AST): it looks for
+// expression-statement calls to the engine's error-returning method set.
+// That catches every call through the sim API without needing a full type
+// check, and a method of another type that happens to share a name is
+// still worth an explicit discard at these call sites.
+//
+// Usage: vet-ignored <dir>...  (walks each tree, skipping _test.go files)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// interruptible is the sim API surface returning an error that encodes an
+// interrupt delivery. Dropping one of these on the floor loses an abort.
+var interruptible = map[string]bool{
+	"Wait":      true, // Proc.Wait
+	"WaitEvent": true, // Proc.WaitEvent
+	"Join":      true, // Proc.Join
+	"Acquire":   true, // Resource.Acquire
+	"Await":     true, // Barrier.Await
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: vet-ignored <dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, root := range os.Args[1:] {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			n, err := checkFile(path)
+			bad += n
+			return err
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vet-ignored: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "vet-ignored: %d ignored interruptible result(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports every offending statement in one file.
+func checkFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !interruptible[sel.Sel.Name] {
+			return true
+		}
+		// Every interruptible sim method takes at least one argument;
+		// zero-arg calls are other APIs (sync.WaitGroup.Wait and kin).
+		if len(call.Args) == 0 {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		fmt.Printf("%s: result of .%s(...) ignored (use `_ =` if the interrupt is deliberately dropped)\n",
+			pos, sel.Sel.Name)
+		bad++
+		return true
+	})
+	return bad, nil
+}

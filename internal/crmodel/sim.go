@@ -94,6 +94,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	a.app = a.env.Spawn("app", a.run)
 	a.env.Spawn("injector", a.inject)
 	a.env.RunAll()
+	a.env.Release()
 	return a.res
 }
 

@@ -370,6 +370,7 @@ func Run(cfg Config, preds []Prediction) *Result {
 		})
 	}
 	env.RunAll()
+	env.Release()
 	res.PeakLaneSharers = ln.peak
 	sort.SliceStable(res.Outcomes, func(i, j int) bool { return res.Outcomes[i].CommitAt < res.Outcomes[j].CommitAt })
 	return res

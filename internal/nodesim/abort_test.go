@@ -1,0 +1,64 @@
+package nodesim
+
+import (
+	"testing"
+
+	"pckpt/internal/sim"
+)
+
+// TestNodeAbortMidPhaseStillReports pins the nodeLoop contract this PR
+// made explicit: a node interrupted mid-command must take the abort
+// branch — count the abort, report immediately so the phase can drain,
+// and go back to idle — rather than silently treating the cut-short wait
+// as completed work. The driver plays coordinator against a single node:
+// post a 100 s compute, abort it at t = 5, and require the phase to drain
+// at t = 5 with the node reusable afterwards.
+func TestNodeAbortMidPhaseStillReports(t *testing.T) {
+	env := sim.NewEnv()
+	c := &cluster{env: env, allDone: sim.NewEvent(env)}
+	n := &node{id: 0, ready: sim.NewEvent(env)}
+	c.nodes = []*node{n}
+	n.proc = env.Spawn("node-0", func(p *sim.Proc) { c.nodeLoop(p, n) })
+
+	drainedAt := -1.0
+	redoneAt := -1.0
+	env.Spawn("driver", func(p *sim.Proc) {
+		c.post(n, command{kind: cmdCompute, dur: 100})
+		if err := p.Wait(5); err != nil {
+			t.Errorf("driver interrupted: %v", err)
+		}
+		c.abortBusy()
+		for c.outstanding > 0 {
+			if err := p.WaitEvent(c.allDone); err != nil {
+				t.Errorf("drain wait interrupted: %v", err)
+			}
+		}
+		drainedAt = env.Now()
+		// The aborted node must be idle and immediately reusable.
+		c.post(n, command{kind: cmdCompute, dur: 2})
+		for c.outstanding > 0 {
+			if err := p.WaitEvent(c.allDone); err != nil {
+				t.Errorf("redo wait interrupted: %v", err)
+			}
+		}
+		redoneAt = env.Now()
+		c.post(n, command{kind: cmdExit})
+	})
+	env.RunAll()
+
+	if drainedAt != 5 {
+		t.Errorf("aborted phase drained at %g, want 5 (the abort instant)", drainedAt)
+	}
+	if redoneAt != 7 {
+		t.Errorf("follow-up command finished at %g, want 7", redoneAt)
+	}
+	if c.phaseAborts != 1 {
+		t.Errorf("phaseAborts = %d, want exactly the one aborted command", c.phaseAborts)
+	}
+	if n.busy {
+		t.Error("node still marked busy after exit")
+	}
+	if env.ProcCount() != 0 {
+		t.Errorf("%d processes leaked past RunAll", env.ProcCount())
+	}
+}

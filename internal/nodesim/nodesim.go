@@ -119,7 +119,8 @@ type command struct {
 type node struct {
 	id   int
 	proc *sim.Proc
-	// cmd is the pending command; ready fires when one is posted.
+	// cmd is the pending command; ready is pulsed (not latched) when one
+	// is posted, so one event serves the node for the whole run.
 	cmd   command
 	ready *sim.Event
 	busy  bool
@@ -150,9 +151,14 @@ type cluster struct {
 	// Lane is the prioritized PFS path of phase 1.
 	lane *sim.Resource
 
-	// Coordinator bookkeeping.
+	// Coordinator bookkeeping. allDone is a single pulsed event for every
+	// phase drain of the run; the coordinator is its only possible waiter.
 	outstanding int
 	allDone     *sim.Event
+	// phaseAborts counts node commands cut short by a phase abort — the
+	// explicit other half of a timed command's Wait, kept as engine-side
+	// accounting (deliberately not part of stats.RunResult).
+	phaseAborts int
 	pending     []failure.Event
 	// computing/computeStart bank partial compute progress: pausing
 	// handlers (episodes, failures) call bankCompute so rollbacks and
@@ -222,6 +228,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		st:    policy.NewState(),
 		lane:  sim.NewResource(env, 1),
 	}
+	c.allDone = sim.NewEvent(env)
 
 	c.met = newNodeMetrics(cfg.Metrics, cfg.Policy)
 	src := rng.New(seed)
@@ -235,6 +242,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	c.coord = env.Spawn("coordinator", c.coordinate)
 	env.Spawn("injector", func(p *sim.Proc) { c.inject(p, stream) })
 	env.RunAll()
+	env.Release()
 	return c.res
 }
 
@@ -242,8 +250,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 func (c *cluster) nodeLoop(p *sim.Proc, n *node) {
 	for {
 		for !n.busy {
-			ev := n.ready
-			if err := p.WaitEvent(ev); err != nil {
+			if err := p.WaitEvent(n.ready); err != nil {
 				panic(fmt.Sprintf("nodesim: idle node interrupted: %v", err))
 			}
 		}
@@ -256,9 +263,16 @@ func (c *cluster) nodeLoop(p *sim.Proc, n *node) {
 			c.vulnWrite(p, n, cmd)
 		default:
 			// Timed work, abortable: an interrupt means the coordinator
-			// voided the phase.
+			// voided the phase. The abort still reports — the coordinator
+			// is waiting for the phase to drain — but takes the explicit
+			// branch so an expired wait and a voided one are never
+			// conflated.
 			if cmd.dur > 0 {
-				p.Wait(cmd.dur)
+				if err := p.Wait(cmd.dur); err != nil {
+					c.phaseAborts++
+					c.report(n)
+					continue
+				}
 			}
 		}
 		c.report(n)
@@ -303,9 +317,7 @@ func (c *cluster) post(n *node, cmd command) {
 	n.cmd = cmd
 	n.busy = true
 	c.outstanding++
-	ev := n.ready
-	n.ready = sim.NewEvent(c.env)
-	ev.Trigger()
+	n.ready.Pulse()
 }
 
 // report marks a node's command finished and wakes the coordinator when
@@ -313,9 +325,11 @@ func (c *cluster) post(n *node, cmd command) {
 func (c *cluster) report(n *node) {
 	n.busy = false
 	c.outstanding--
-	if c.outstanding == 0 && c.allDone != nil {
-		c.allDone.Trigger()
-		c.allDone = nil
+	// Wake the coordinator only if it is actually parked on the drain
+	// event; with zero waiters it is off handling an injected failure and
+	// will re-check outstanding itself.
+	if c.outstanding == 0 && c.allDone.Waiters() > 0 {
+		c.allDone.Pulse()
 	}
 }
 
@@ -334,9 +348,7 @@ func (c *cluster) abortBusy() {
 func (c *cluster) awaitPhase(p *sim.Proc) bool {
 	epoch := c.st.Epoch()
 	for c.outstanding > 0 {
-		c.allDone = sim.NewEvent(c.env)
 		if err := p.WaitEvent(c.allDone); err != nil {
-			c.allDone = nil
 			c.handleEvents(p)
 			if c.st.Epoch() != epoch {
 				return false

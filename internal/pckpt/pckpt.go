@@ -260,6 +260,7 @@ func Run(cfg Config, preds []Prediction) *Result {
 		})
 	}
 	env.RunAll()
+	env.Release()
 	sort.SliceStable(e.result.Outcomes, func(i, j int) bool {
 		return e.result.Outcomes[i].DoneAt < e.result.Outcomes[j].DoneAt
 	})

@@ -1,0 +1,52 @@
+package queue
+
+import "testing"
+
+// BenchmarkHeapChurn exercises the simulator's steady state: a mid-size
+// heap with interleaved pushes and pops (every simulated event is one of
+// each).
+func BenchmarkHeapChurn(b *testing.B) {
+	var q PQ[int]
+	for i := 0; i < 256; i++ {
+		q.Push(float64(i*37%1024), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(float64(i*31%1024), i)
+		q.Pop()
+	}
+}
+
+// BenchmarkRemoveFuncSweep measures the compaction primitive: filtering a
+// large heap and re-establishing the invariant, the cost model behind the
+// engine's lazy-cancellation compaction threshold.
+func BenchmarkRemoveFuncSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var q PQ[int]
+		for k := 0; k < 4096; k++ {
+			q.Push(float64(k*17%8192), k)
+		}
+		b.StartTimer()
+		q.RemoveFunc(func(v int) bool { return v%2 == 0 })
+	}
+}
+
+// BenchmarkPushPopPointer mirrors the event heap's actual element type
+// (a pointer), so stale-slot retention and zeroing costs are visible.
+func BenchmarkPushPopPointer(b *testing.B) {
+	type entry struct{ at float64 }
+	var q PQ[*entry]
+	e := &entry{}
+	for i := 0; i < 256; i++ {
+		q.Push(float64(i*37%1024), e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(float64(i*31%1024), e)
+		q.Pop()
+	}
+}

@@ -1,0 +1,76 @@
+package queue
+
+import "testing"
+
+// staleTail counts non-nil pointers lingering in the backing array beyond
+// the queue's logical length — entries the queue no longer owns but whose
+// references it would be keeping alive.
+func staleTail(q *PQ[*int]) int {
+	stale := 0
+	for _, it := range q.items[len(q.items):cap(q.items)] {
+		if it.val != nil {
+			stale++
+		}
+	}
+	return stale
+}
+
+// TestPopReleasesSlot guards against the stale-reference leak this PR
+// fixed: Pop shrank the slice but left the vacated tail slot populated,
+// pinning the popped element for as long as the queue lived. With a
+// pointer element type every vacated slot must be zero.
+func TestPopReleasesSlot(t *testing.T) {
+	var q PQ[*int]
+	for i := 0; i < 16; i++ {
+		v := i
+		q.Push(float64(i), &v)
+	}
+	for i := 0; i < 16; i++ {
+		q.Pop()
+		if n := staleTail(&q); n != 0 {
+			t.Fatalf("after pop %d: %d stale pointer(s) in the backing array", i, n)
+		}
+	}
+}
+
+func TestRemoveFuncReleasesTail(t *testing.T) {
+	var q PQ[*int]
+	for i := 0; i < 32; i++ {
+		v := i
+		q.Push(float64(i%7), &v)
+	}
+	removed := q.RemoveFunc(func(v *int) bool { return *v%2 == 0 })
+	if removed != 16 {
+		t.Fatalf("removed %d, want 16", removed)
+	}
+	if n := staleTail(&q); n != 0 {
+		t.Fatalf("%d stale pointer(s) behind the filtered queue", n)
+	}
+	// The survivors still drain in key order.
+	prev := -1.0
+	for q.Len() > 0 {
+		k, v := q.Pop()
+		if k < prev {
+			t.Fatalf("heap order broken after RemoveFunc: %g after %g", k, prev)
+		}
+		if *v%2 == 0 {
+			t.Fatalf("removed value %d still queued", *v)
+		}
+		prev = k
+	}
+}
+
+func TestClearReleasesSlots(t *testing.T) {
+	var q PQ[*int]
+	for i := 0; i < 8; i++ {
+		v := i
+		q.Push(float64(i), &v)
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", q.Len())
+	}
+	if n := staleTail(&q); n != 0 {
+		t.Fatalf("%d stale pointer(s) survive Clear", n)
+	}
+}

@@ -42,6 +42,10 @@ func (q *PQ[T]) Pop() (key float64, val T) {
 	top := q.items[0]
 	last := len(q.items) - 1
 	q.items[0] = q.items[last]
+	// Zero the vacated tail slot: the backing array outlives the pop, and a
+	// stale value there would pin the popped element for the GC (pointer
+	// element types) for as long as the queue lives.
+	q.items[last] = pqItem[T]{}
 	q.items = q.items[:last]
 	if last > 0 {
 		q.down(0)
@@ -59,8 +63,13 @@ func (q *PQ[T]) Peek() (key float64, val T, ok bool) {
 	return q.items[0].key, q.items[0].val, true
 }
 
-// Clear removes all items but keeps the backing storage for reuse.
+// Clear removes all items but keeps the backing storage for reuse. The
+// vacated slots are zeroed so cleared values do not linger in the backing
+// array.
 func (q *PQ[T]) Clear() {
+	for i := range q.items {
+		q.items[i] = pqItem[T]{}
+	}
 	q.items = q.items[:0]
 }
 
@@ -77,6 +86,11 @@ func (q *PQ[T]) RemoveFunc(match func(val T) bool) int {
 		} else {
 			kept = append(kept, it)
 		}
+	}
+	// kept aliases the head of the same backing array; zero the tail it no
+	// longer covers so removed values are not retained.
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = pqItem[T]{}
 	}
 	q.items = kept
 	if removed > 0 {

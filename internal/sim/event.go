@@ -22,6 +22,23 @@ func (e *Event) Triggered() bool { return e.triggered }
 // Waiters returns the number of processes currently blocked on the event.
 func (e *Event) Waiters() int { return len(e.waiters) }
 
+// wakeAll schedules a resume for every waiter at the current time and
+// empties the waiter list, keeping its capacity for the next round.
+func (e *Event) wakeAll() {
+	for i, p := range e.waiters {
+		wake := e.env.newItem()
+		wake.kind = itemWake
+		wake.proc = p
+		e.env.schedule(e.env.now, wake)
+		// Hand the wake over to the process so a racing Interrupt at the
+		// same timestamp can cancel it and take precedence.
+		p.pendingWake = wake
+		p.waitingOn = nil
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+}
+
 // Trigger fires the event: every waiting process is scheduled to resume at
 // the current simulation time, and the event latches so subsequent waits
 // return immediately. Triggering an already-triggered event is a no-op.
@@ -30,15 +47,20 @@ func (e *Event) Trigger() {
 		return
 	}
 	e.triggered = true
-	for _, p := range e.waiters {
-		wake := &item{kind: itemWake, proc: p}
-		e.env.schedule(e.env.now, wake)
-		// Hand the wake over to the process so a racing Interrupt at the
-		// same timestamp can cancel it and take precedence.
-		p.pendingWake = wake
-		p.waitingOn = nil
+	e.wakeAll()
+}
+
+// Pulse wakes every process currently waiting without latching: the event
+// stays untriggered, so it can be waited on and pulsed again with no Reset
+// and no reallocation. It is the primitive for long-lived request/response
+// handshakes (post-a-command, phase-drained) that under Trigger semantics
+// would need a fresh Event per round. Pulsing a latched event is a no-op —
+// a latched event already admits every waiter immediately.
+func (e *Event) Pulse() {
+	if e.triggered {
+		return
 	}
-	e.waiters = nil
+	e.wakeAll()
 }
 
 // Reset re-arms a triggered event so it can be waited on and triggered
@@ -54,7 +76,11 @@ func (e *Event) Reset() {
 func (e *Event) removeWaiter(p *Proc) {
 	for i, w := range e.waiters {
 		if w == p {
-			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			n := len(e.waiters) - 1
+			copy(e.waiters[i:], e.waiters[i+1:])
+			// Zero the vacated tail slot so the slice does not pin p.
+			e.waiters[n] = nil
+			e.waiters = e.waiters[:n]
 			return
 		}
 	}

@@ -28,10 +28,12 @@ const (
 // block the caller in simulated time); Interrupt is called by whichever
 // goroutine currently holds the execution token.
 type Proc struct {
-	env    *Env
-	name   string
-	id     uint64
-	fn     func(p *Proc)
+	env  *Env
+	name string
+	id   uint64
+	fn   func(p *Proc)
+	// resume is borrowed from the carrier slot for the duration of the
+	// run; it is assigned when the process starts.
 	resume chan *Interrupt
 	state  procState
 	// pendingWake is the heap item that will resume this process, when it
@@ -44,7 +46,9 @@ type Proc struct {
 	// between the first one and the process actually resuming is dropped
 	// (the first reason wins, matching SimPy's behaviour).
 	interruptPending bool
-	done             *Event
+	// done is the completion event, allocated lazily on the first Done
+	// call — most processes (every per-node worker) are never joined.
+	done *Event
 }
 
 // Name returns the diagnostic name given at spawn time.
@@ -57,10 +61,27 @@ func (p *Proc) Env() *Env { return p.env }
 func (p *Proc) Alive() bool { return p.state != stateDone }
 
 // Done returns the completion event, triggered when the process function
-// returns. Other processes can WaitEvent on it to join.
-func (p *Proc) Done() *Event { return p.done }
+// returns. Other processes can WaitEvent on it to join. The event is
+// created on first use; asking a finished process returns it already
+// triggered.
+func (p *Proc) Done() *Event {
+	if p.done == nil {
+		p.done = NewEvent(p.env)
+		if p.state == stateDone {
+			p.done.triggered = true
+		}
+	}
+	return p.done
+}
 
-// run is the goroutine body: execute fn, then hand the token back.
+// start hands the process to a carrier slot (dispatch of its itemStart).
+func (p *Proc) start() {
+	s := getSlot()
+	p.resume = s.resume
+	s.start <- p
+}
+
+// run is the carrier-goroutine body: execute fn, then hand the token back.
 func (p *Proc) run() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -69,7 +90,7 @@ func (p *Proc) run() {
 		}
 		p.state = stateDone
 		p.env.nprocs--
-		if !p.env.failed {
+		if !p.env.failed && p.done != nil {
 			p.done.Trigger()
 		}
 		p.env.sched <- struct{}{}
@@ -101,7 +122,9 @@ func (p *Proc) Wait(d float64) error {
 	if p.env.current != p {
 		panic("sim: Wait called from outside the process goroutine")
 	}
-	wake := &item{kind: itemWake, proc: p}
+	wake := p.env.newItem()
+	wake.kind = itemWake
+	wake.proc = p
 	p.env.schedule(p.env.now+d, wake)
 	p.pendingWake = wake
 	if iv := p.park(); iv != nil {
@@ -132,7 +155,7 @@ func (p *Proc) Join(other *Proc) error {
 	if !other.Alive() {
 		return nil
 	}
-	return p.WaitEvent(other.done)
+	return p.WaitEvent(other.Done())
 }
 
 // Interrupt delivers an interrupt to a blocked process: its current Wait
@@ -152,14 +175,18 @@ func (p *Proc) Interrupt(reason any) bool {
 		p.interruptPending = true
 		iv := &Interrupt{Reason: reason}
 		if p.pendingWake != nil {
-			p.pendingWake.cancelled = true
+			p.env.cancel(p.pendingWake)
 			p.pendingWake = nil
 		}
 		if p.waitingOn != nil {
 			p.waitingOn.removeWaiter(p)
 			p.waitingOn = nil
 		}
-		p.env.schedule(p.env.now, &item{kind: itemWake, proc: p, interrupt: iv})
+		wake := p.env.newItem()
+		wake.kind = itemWake
+		wake.proc = p
+		wake.interrupt = iv
+		p.env.schedule(p.env.now, wake)
 		return true
 	default:
 		panic(fmt.Sprintf("sim: Interrupt on process %q in state %d", p.name, p.state))

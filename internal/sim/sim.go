@@ -14,10 +14,17 @@
 //
 // Time is a float64 in seconds. There is no wall-clock component anywhere;
 // a run is a pure function of its inputs.
+//
+// The engine recycles its hot-path allocations: heap entries come from a
+// per-environment free list, process goroutines and their channels come
+// from a process-global slot pool (see slot.go), and whole environments
+// can be handed back with Release for the next NewEnv to reuse. See
+// DESIGN.md ("Engine performance") for the safety arguments.
 package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"pckpt/internal/queue"
 )
@@ -37,6 +44,15 @@ type Env struct {
 	failed   bool
 	nprocs   int
 	nstarted uint64
+	// free is the item free list: every entry popped from the heap is
+	// recycled here instead of left to the GC, so a steady-state run
+	// reuses a small working set of items no matter how many events fire.
+	free []*item
+	// ncancelled counts cancelled entries still sitting in the heap.
+	// Cancellation is lazy (O(1)); when dead entries dominate, the heap is
+	// compacted in one pass so storms of retracted timeouts cannot grow
+	// the heap without bound.
+	ncancelled int
 }
 
 type itemKind uint8
@@ -58,9 +74,53 @@ type item struct {
 	interrupt *Interrupt // non-nil when the wake is an interrupt delivery
 }
 
-// NewEnv returns an empty environment with the clock at zero.
+// envPool recycles released environments — principally their event-heap
+// backing array and item free list — across runs of a sweep.
+var envPool = sync.Pool{New: func() any { return new(Env) }}
+
+// NewEnv returns an empty environment with the clock at zero. It may reuse
+// the buffers of a previously Released environment.
 func NewEnv() *Env {
-	return &Env{sched: make(chan struct{})}
+	e := envPool.Get().(*Env)
+	if e.sched == nil {
+		e.sched = make(chan struct{})
+	}
+	return e
+}
+
+// Release hands the environment back for reuse by a later NewEnv. Call it
+// only when the run is over: if processes are still live, events are still
+// pending, or a process panicked, Release is a no-op and the environment
+// is simply dropped — a poisoned or half-run environment never re-enters
+// circulation. Using an environment after releasing it is a bug.
+func (e *Env) Release() {
+	if e.nprocs != 0 || e.events.Len() != 0 || e.failed || e.current != nil {
+		return
+	}
+	e.now = 0
+	e.nstarted = 0
+	e.ncancelled = 0
+	e.failure = nil
+	envPool.Put(e)
+}
+
+// newItem takes an entry off the free list, or allocates one.
+func (e *Env) newItem() *item {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+// freeItem zeroes an entry and returns it to the free list. The caller
+// must guarantee no reference to it survives (see DESIGN.md for why the
+// engine's reference discipline makes every call site safe).
+func (e *Env) freeItem(it *item) {
+	*it = item{}
+	e.free = append(e.free, it)
 }
 
 // Now returns the current simulation time in seconds.
@@ -80,11 +140,38 @@ func (e *Env) schedule(at float64, it *item) *item {
 	return it
 }
 
+// cancel lazily invalidates a scheduled entry, compacting the heap when
+// dead entries reach both an absolute floor and half the heap.
+func (e *Env) cancel(it *item) {
+	it.cancelled = true
+	e.ncancelled++
+	if e.ncancelled >= 64 && e.ncancelled*2 >= e.events.Len() {
+		e.compact()
+	}
+}
+
+// compact removes every cancelled entry in one pass. Pop order is a pure
+// function of each entry's (key, seq) pair, which compaction preserves, so
+// the schedule the survivors fire in is unchanged.
+func (e *Env) compact() {
+	e.events.RemoveFunc(func(it *item) bool {
+		if it.cancelled {
+			e.freeItem(it)
+			return true
+		}
+		return false
+	})
+	e.ncancelled = 0
+}
+
 // At runs fn at the given delay from now. fn executes while holding the
 // scheduler token, so it may inspect and mutate simulation state and may
 // spawn processes or trigger events, but must not block.
 func (e *Env) At(delay float64, fn func()) {
-	e.schedule(e.now+delay, &item{kind: itemCall, fn: fn})
+	it := e.newItem()
+	it.kind = itemCall
+	it.fn = fn
+	e.schedule(e.now+delay, it)
 }
 
 // Spawn creates a process executing fn and schedules it to start at the
@@ -97,29 +184,36 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 func (e *Env) SpawnAt(delay float64, name string, fn func(p *Proc)) *Proc {
 	e.nstarted++
 	p := &Proc{
-		env:    e,
-		name:   name,
-		id:     e.nstarted,
-		fn:     fn,
-		resume: make(chan *Interrupt),
-		done:   NewEvent(e),
+		env:  e,
+		name: name,
+		id:   e.nstarted,
+		fn:   fn,
 	}
 	e.nprocs++
-	e.schedule(e.now+delay, &item{kind: itemStart, proc: p})
+	it := e.newItem()
+	it.kind = itemStart
+	it.proc = p
+	e.schedule(e.now+delay, it)
 	return p
 }
 
 // Run processes events until the heap is empty or the clock would pass
-// until (use RunAll for no horizon). It returns the final simulation time.
-// A panic inside any process is re-raised here.
+// until (use RunAll for no horizon). When events remain beyond the
+// horizon, the clock still advances to until — mirroring SimPy's
+// run(until=...), whose horizon is itself an event — so Now() afterwards
+// is the horizon, not the last event processed before it. It returns the
+// final simulation time. A panic inside any process is re-raised here.
 func (e *Env) Run(until float64) float64 {
 	for e.events.Len() > 0 {
 		at, it, _ := e.events.Peek()
 		if at > until {
-			break
+			e.now = until
+			return e.now
 		}
 		e.events.Pop()
 		if it.cancelled {
+			e.ncancelled--
+			e.freeItem(it)
 			continue
 		}
 		e.now = at
@@ -136,6 +230,8 @@ func (e *Env) RunAll() float64 {
 	for e.events.Len() > 0 {
 		_, it := e.events.Pop()
 		if it.cancelled {
+			e.ncancelled--
+			e.freeItem(it)
 			continue
 		}
 		e.now = it.at
@@ -147,20 +243,25 @@ func (e *Env) RunAll() float64 {
 	return e.now
 }
 
+// dispatch fires one live entry. The entry is recycled up front — after
+// copying its payload — which is safe because no reference to a dispatched
+// item survives: a wake being delivered is the only item a process can
+// still point to (pendingWake), and park clears that pointer before the
+// process runs any further code.
 func (e *Env) dispatch(it *item) {
-	switch it.kind {
+	kind, proc, fn, iv := it.kind, it.proc, it.fn, it.interrupt
+	e.freeItem(it)
+	switch kind {
 	case itemCall:
-		it.fn()
+		fn()
 	case itemStart:
-		p := it.proc
-		e.current = p
-		go p.run()
+		e.current = proc
+		proc.start()
 		<-e.sched
 		e.current = nil
 	case itemWake:
-		p := it.proc
-		e.current = p
-		p.resume <- it.interrupt
+		e.current = proc
+		proc.resume <- iv
 		<-e.sched
 		e.current = nil
 	}

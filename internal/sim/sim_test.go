@@ -129,13 +129,41 @@ func TestRunHorizon(t *testing.T) {
 	if fired != 1 {
 		t.Fatalf("fired %d callbacks before horizon, want 1", fired)
 	}
-	if end != 1 {
-		t.Fatalf("clock at %g, want 1", end)
+	// SimPy parity: run(until) leaves the clock AT the horizon, not at the
+	// last event before it. The engine used to return 1 here.
+	if end != 5 {
+		t.Fatalf("clock at %g, want 5 (the horizon)", end)
 	}
 	env.RunAll()
 	if fired != 2 {
 		t.Fatalf("fired %d callbacks total, want 2", fired)
 	}
+}
+
+// TestRunHorizonAnchorsRelativeTime is the regression the old horizon
+// semantics would fail: work scheduled relative to "now" after a bounded
+// run must be anchored at the horizon. Under the old behaviour the clock
+// stuck at the last processed event, so a follow-up At(d) landed early.
+func TestRunHorizonAnchorsRelativeTime(t *testing.T) {
+	env := NewEnv()
+	env.At(1, func() {})
+	env.At(100, func() {})
+	if end := env.Run(7); end != 7 || env.Now() != 7 {
+		t.Fatalf("Run(7) = %g, Now() = %g, want both 7", end, env.Now())
+	}
+	var at float64
+	env.At(2, func() { at = env.Now() })
+	env.RunAll()
+	if at != 9 {
+		t.Fatalf("post-horizon callback fired at %g, want 9 (= 7 + 2)", at)
+	}
+	// A horizon before the first event still advances the clock.
+	env2 := NewEnv()
+	env2.At(50, func() {})
+	if end := env2.Run(3); end != 3 {
+		t.Fatalf("Run(3) with no due events = %g, want 3", end)
+	}
+	env2.RunAll()
 }
 
 func TestInterruptWait(t *testing.T) {

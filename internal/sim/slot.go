@@ -1,0 +1,74 @@
+package sim
+
+import "sync"
+
+// A slot is a reusable process carrier: one goroutine plus the pair of
+// unbuffered channels the lock-step handshake runs over. Spawning a
+// process costs a goroutine launch and two channel allocations; with
+// slots, a finished process's carrier is parked and the next spawn —
+// in this environment or any other — reuses it, so sweeps that simulate
+// thousands of short-lived processes recycle a small working set.
+//
+// Only the carrier is pooled. Proc structs are NOT reused: callers hold
+// *Proc handles (Alive, Done, Interrupt) with no defined lifetime, and a
+// recycled struct would let a stale handle observe an unrelated process.
+type slot struct {
+	// start hands the next process to the parked goroutine; closing it
+	// retires the goroutine when the pool is full.
+	start chan *Proc
+	// resume is the wake channel the process parks on; it becomes the
+	// Proc's resume channel for the duration of its run.
+	resume chan *Interrupt
+}
+
+// slotPool is process-global: slots hold no environment state, and runs
+// executed back to back (or in parallel workers) share one working set.
+var slotPool struct {
+	sync.Mutex
+	free []*slot
+}
+
+// maxIdleSlots bounds the parked-goroutine population. Beyond it, a
+// retiring slot's goroutine exits instead of parking; the bound therefore
+// caps idle memory without limiting how many processes may be live at
+// once (live processes each occupy their own slot regardless).
+const maxIdleSlots = 1024
+
+// getSlot returns a parked slot or builds a fresh one.
+func getSlot() *slot {
+	slotPool.Lock()
+	if n := len(slotPool.free); n > 0 {
+		s := slotPool.free[n-1]
+		slotPool.free[n-1] = nil
+		slotPool.free = slotPool.free[:n-1]
+		slotPool.Unlock()
+		return s
+	}
+	slotPool.Unlock()
+	s := &slot{start: make(chan *Proc), resume: make(chan *Interrupt)}
+	go s.loop()
+	return s
+}
+
+// putSlot parks a slot for reuse, or retires it when the pool is full.
+func putSlot(s *slot) {
+	slotPool.Lock()
+	if len(slotPool.free) >= maxIdleSlots {
+		slotPool.Unlock()
+		close(s.start)
+		return
+	}
+	slotPool.free = append(slotPool.free, s)
+	slotPool.Unlock()
+}
+
+// loop is the carrier goroutine: run one process to completion, park the
+// slot, wait for the next. A send on start can only come from a getSlot
+// caller after putSlot has published the slot, so the handoff is ordered
+// even though the goroutine re-enters the receive asynchronously.
+func (s *slot) loop() {
+	for p := range s.start {
+		p.run()
+		putSlot(s)
+	}
+}
