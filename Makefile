@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check errcheck crossval golden golden-update cachepass bench bench-smoke ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-update cachepass bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ crossval:
 # parameters and compares each table cell against the committed goldens.
 golden:
 	$(GO) test -race -timeout 30m -count=1 -run TestGolden ./internal/experiments
+
+# golden-degraded gates just the degraded-platform experiment: the
+# fault-injection golden is the regression net for the injector's
+# seed-derivation hygiene (a stray draw anywhere reshuffles every cell).
+golden-degraded:
+	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/degraded' ./internal/experiments
 
 # golden-update regenerates testdata/golden after an intentional
 # behaviour change; review the diff before committing.
@@ -66,21 +72,22 @@ bench-smoke:
 errcheck:
 	$(GO) run ./cmd/vet-ignored ./internal
 
-# ci is the full gate: formatting, vet, the ignored-interruptible-result
-# check, build, the race-enabled test suite, a dedicated race pass over
-# the tier cross-validation, the golden-table regression suite, the
-# cold-then-warm cache pass, and a one-iteration benchmark smoke run.
-# The broad race pass runs -short: the golden suite and the worker
-# determinism sweep skip there (the goldens get a dedicated race pass
-# below; both run unraced in `test`), which keeps the slowest package
-# inside the per-package timeout.
+# ci is the full gate: formatting, vet, the ignored-result check (both
+# the interruptible sim calls and the fault-injector draws), build, the
+# FULL race-enabled test suite (no -short: the worker-determinism sweeps
+# and injection bit-identity tests must run raced — they are exactly the
+# tests that catch cross-worker nondeterminism), a dedicated race pass
+# over the tier cross-validation, the golden-table regression suite plus
+# an explicit degraded-platform golden gate, the cold-then-warm cache
+# pass, and a one-iteration benchmark smoke run.
 ci:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(MAKE) errcheck
 	$(GO) build ./...
-	$(GO) test -race -short -timeout 30m ./...
+	$(MAKE) race
 	$(GO) test -run TestCrossValidation -race -timeout 30m ./...
 	$(MAKE) golden
+	$(MAKE) golden-degraded
 	$(MAKE) cachepass
 	$(MAKE) bench-smoke

@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"pckpt/internal/experiments"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/metrics"
 	"pckpt/internal/runcache"
 )
@@ -57,6 +58,14 @@ func main() {
 		cacheStats = flag.Bool("cache-stats", false, "print per-experiment cache hit/miss accounting on exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		injBB      = flag.Float64("inject-bb", 0, "degraded platform: BB checkpoint-write failure probability")
+		injPFS     = flag.Float64("inject-pfs", 0, "degraded platform: PFS write failure probability")
+		injCorrupt = flag.Float64("inject-corrupt", 0, "degraded platform: silent checkpoint-corruption probability per commit")
+		injRestart = flag.Float64("inject-restart", 0, "degraded platform: restart-attempt failure probability")
+		injCascade = flag.Float64("inject-cascade", 0, "degraded platform: secondary-failure probability per recovery window")
+		injRetries = flag.Int("inject-retries", 0, "degraded platform: restart retry bound (0 = default)")
+		injBackoff = flag.Float64("inject-backoff", 0, "degraded platform: base restart backoff seconds, doubling per attempt (0 = default)")
 	)
 	flag.Parse()
 
@@ -79,6 +88,16 @@ func main() {
 	defer writeMemProfile(*memProfile)
 
 	p := experiments.Params{Runs: *runs, Seed: *seed, SeedSet: true, Workers: *workers}
+	p.Faults = faultinject.Config{
+		BBWriteFailProb:       *injBB,
+		PFSWriteFailProb:      *injPFS,
+		CorruptProb:           *injCorrupt,
+		RestartFailProb:       *injRestart,
+		CascadeProb:           *injCascade,
+		RestartRetries:        *injRetries,
+		RestartBackoffSeconds: *injBackoff,
+	}
+	exitOn(p.Faults.Validate())
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")
 	}

@@ -17,6 +17,7 @@ import (
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
 	"pckpt/internal/platform"
@@ -39,6 +40,14 @@ func main() {
 		alpha     = flag.Float64("alpha", lm.DefaultAlpha, "LM transfer to checkpoint size ratio")
 		baseline  = flag.Bool("baseline", true, "also run model B and print reductions")
 		showTrace = flag.Bool("trace", false, "trace one run (the base seed) and print its timeline summary")
+
+		injBB      = flag.Float64("inject-bb", 0, "degraded platform: BB checkpoint-write failure probability")
+		injPFS     = flag.Float64("inject-pfs", 0, "degraded platform: PFS write failure probability")
+		injCorrupt = flag.Float64("inject-corrupt", 0, "degraded platform: silent checkpoint-corruption probability per commit")
+		injRestart = flag.Float64("inject-restart", 0, "degraded platform: restart-attempt failure probability")
+		injCascade = flag.Float64("inject-cascade", 0, "degraded platform: secondary-failure probability per recovery window")
+		injRetries = flag.Int("inject-retries", 0, "degraded platform: restart retry bound (0 = default)")
+		injBackoff = flag.Float64("inject-backoff", 0, "degraded platform: base restart backoff seconds, doubling per attempt (0 = default)")
 
 		meter      = flag.Bool("metrics", false, "meter the runs and print the merged metrics summary")
 		metricsOut = flag.String("metrics-out", "pckpt-metrics.json", "metrics snapshot JSON path (with -metrics)")
@@ -74,6 +83,15 @@ func main() {
 			LeadScale: *leadScale,
 			FNRate:    *fnRate,
 			FPRate:    *fpRate,
+			Faults: faultinject.Config{
+				BBWriteFailProb:       *injBB,
+				PFSWriteFailProb:      *injPFS,
+				CorruptProb:           *injCorrupt,
+				RestartFailProb:       *injRestart,
+				CascadeProb:           *injCascade,
+				RestartRetries:        *injRetries,
+				RestartBackoffSeconds: *injBackoff,
+			},
 		},
 	}
 	exitOn(cfg.Validate())
@@ -109,9 +127,19 @@ func main() {
 	t.AddRow("total overhead", tablefmt.Hours(mo.Total()))
 	t.AddRow("mean wall time", tablefmt.Hours(agg.MeanWallSeconds()))
 	t.AddRow("FT ratio", fmt.Sprintf("%.3f", agg.MeanFTRatio()))
+	if cfg.Faults.Enabled() {
+		fc := agg.FaultTotals()
+		t.AddRow("injected write failures", fmt.Sprint(fc.BBWriteFailures+fc.PFSWriteFailures))
+		t.AddRow("corrupt-generation fallbacks", fmt.Sprint(fc.CorruptRestarts))
+		t.AddRow("restart retries", fmt.Sprint(fc.RestartRetries))
+		t.AddRow("recovery cascades", fmt.Sprint(fc.Cascades))
+	}
 	s := agg.TotalSummary()
 	t.AddRow("total overhead 95% CI", fmt.Sprintf("[%s, %s]", tablefmt.Hours(s.CI95Lo), tablefmt.Hours(s.CI95Hi)))
 	fmt.Println(t.String())
+	for _, f := range agg.Failed() {
+		fmt.Fprintf(os.Stderr, "warning: run with seed %d failed (%s): %s\n", f.Seed, f.Config, f.Err)
+	}
 
 	if *baseline && model != crmodel.ModelB {
 		bcfg := cfg

@@ -39,6 +39,20 @@ var interruptible = map[string]bool{
 	"Await":     true, // Barrier.Await
 }
 
+// injectorHooks is the faultinject draw surface. Unlike the interruptible
+// set these are zero-argument (or attempt-indexed) draws whose boolean
+// result IS the injected fault: a bare statement both discards the fault
+// — silently un-degrading the platform — and still consumes the rng draw,
+// desynchronising the plan. There is no legitimate discard, so `_ =` is
+// not suggested.
+var injectorHooks = map[string]bool{
+	"BBWriteFails":        true, // Injector.BBWriteFails
+	"PFSWriteFails":       true, // Injector.PFSWriteFails
+	"CorruptCommit":       true, // Injector.CorruptCommit
+	"RestartAttemptFails": true, // Injector.RestartAttemptFails
+	"CascadeRecovery":     true, // Injector.CascadeRecovery
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: vet-ignored <dir>...")
@@ -86,7 +100,20 @@ func checkFile(path string) (int, error) {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !interruptible[sel.Sel.Name] {
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if injectorHooks[name] {
+			// Injector draws are flagged regardless of arity: dropping one
+			// un-degrades the platform while still consuming the draw.
+			pos := fset.Position(call.Pos())
+			fmt.Printf("%s: result of .%s(...) ignored (an injected fault must be handled, not dropped)\n",
+				pos, name)
+			bad++
+			return true
+		}
+		if !interruptible[name] {
 			return true
 		}
 		// Every interruptible sim method takes at least one argument;
@@ -96,7 +123,7 @@ func checkFile(path string) (int, error) {
 		}
 		pos := fset.Position(call.Pos())
 		fmt.Printf("%s: result of .%s(...) ignored (use `_ =` if the interrupt is deliberately dropped)\n",
-			pos, sel.Sel.Name)
+			pos, name)
 		bad++
 		return true
 	})

@@ -209,6 +209,20 @@ func (c *Cluster) RecordPFSCheckpointAll(progress float64) {
 	}
 }
 
+// ClampCheckpoints discards every checkpoint record newer than progress,
+// on every node. A degraded-platform restart that found the newer
+// generations corrupt calls this so no later recovery tries them again.
+func (c *Cluster) ClampCheckpoints(progress float64) {
+	for i := range c.nodes {
+		if c.nodes[i].BBProgress > progress {
+			c.nodes[i].BBProgress = progress
+		}
+		if c.nodes[i].PFSProgress > progress {
+			c.nodes[i].PFSProgress = progress
+		}
+	}
+}
+
 // Vulnerable returns the IDs of nodes currently Vulnerable or Migrating,
 // ascending.
 func (c *Cluster) Vulnerable() []int {

@@ -1,0 +1,133 @@
+package crmodel
+
+import (
+	"strings"
+	"testing"
+
+	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
+	"pckpt/internal/platform"
+	"pckpt/internal/sim"
+	"pckpt/internal/stats"
+)
+
+// TestZeroRateInjectionBitIdentical pins the seed-derivation hygiene
+// contract: arming the injection machinery with every rate at zero must
+// be bit-identical to no injection at all, for every model, because the
+// fault plan draws from its own rng substream and rate-zero hooks draw
+// nothing. RestartRetries/backoff alone carry no rates, so they arm
+// nothing.
+func TestZeroRateInjectionBitIdentical(t *testing.T) {
+	for _, m := range Models() {
+		for seed := uint64(1); seed <= 20; seed++ {
+			clean := Config{Model: m, Config: platform.Config{App: failApp, System: failure.Titan}}
+			armed := clean
+			armed.Faults = faultinject.Config{RestartRetries: 5, RestartBackoffSeconds: 60}
+			a := Simulate(clean, seed)
+			b := Simulate(armed, seed)
+			if a != b {
+				t.Fatalf("%s seed %d: rate-0 injection diverged from disabled:\n%+v\n%+v", m, seed, a, b)
+			}
+		}
+	}
+}
+
+// TestInjectionDegradesDeterministically checks that a degraded run is
+// reproducible, actually injects, and costs more than the clean run.
+func TestInjectionDegradesDeterministically(t *testing.T) {
+	faults := faultinject.Config{
+		BBWriteFailProb:  0.2,
+		PFSWriteFailProb: 0.2,
+		CorruptProb:      0.1,
+		RestartFailProb:  0.2,
+		CascadeProb:      0.1,
+	}
+	for _, m := range Models() {
+		cfg := Config{Model: m, Config: platform.Config{App: failApp, System: failure.Titan, Faults: faults}}
+		a := Simulate(cfg, 777)
+		if b := Simulate(cfg, 777); a != b {
+			t.Fatalf("%s: degraded run not reproducible", m)
+		}
+		if a.BBWriteFailures+a.PFSWriteFailures == 0 {
+			t.Errorf("%s: no write failures injected at 20%%", m)
+		}
+		// A single seed can go either way (a failed write also skips its
+		// commit's cost); the mean over seeds must not.
+		clean := cfg
+		clean.Faults = faultinject.Config{}
+		var degradedSum, cleanSum float64
+		for seed := uint64(1); seed <= 10; seed++ {
+			degradedSum += Simulate(cfg, seed).Total()
+			cleanSum += Simulate(clean, seed).Total()
+		}
+		if degradedSum <= cleanSum {
+			t.Errorf("%s: mean degraded overhead %.0f not above clean %.0f", m, degradedSum/10, cleanSum/10)
+		}
+	}
+}
+
+// TestCorruptionForcesFallback drives corruption hard enough that some
+// restart discovers a torn generation and falls back.
+func TestCorruptionForcesFallback(t *testing.T) {
+	faults := faultinject.Config{CorruptProb: 0.5}
+	found := false
+	for seed := uint64(1); seed <= 30 && !found; seed++ {
+		cfg := Config{Model: ModelP2, Config: platform.Config{App: failApp, System: failure.Titan, Faults: faults}}
+		r := Simulate(cfg, seed)
+		found = r.CorruptRestarts > 0
+	}
+	if !found {
+		t.Fatal("no restart ever discovered a corrupt generation at CorruptProb=0.5")
+	}
+}
+
+// TestPanickingRunBecomesFailedRun plants a crashing run in the middle of
+// a sweep and checks the sweep still completes, with the failure ledgered
+// against the exact seed.
+func TestPanickingRunBecomesFailedRun(t *testing.T) {
+	cfg := Config{Model: ModelB, Config: platform.Config{App: smallApp, System: quietSystem}}
+	badSeed := RunSeed(42, 3)
+	orig := simulateRun
+	simulateRun = func(c Config, seed uint64) stats.RunResult {
+		if seed == badSeed {
+			panic("planted crash")
+		}
+		return orig(c, seed)
+	}
+	defer func() { simulateRun = orig }()
+	agg := SimulateNWorkers(cfg, 8, 42, 4)
+	if agg.N() != 7 {
+		t.Fatalf("completed runs = %d, want 7", agg.N())
+	}
+	failed := agg.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("failed ledger has %d entries, want 1", len(failed))
+	}
+	f := failed[0]
+	if f.Seed != badSeed || !strings.Contains(f.Err, "planted crash") || !strings.Contains(f.Config, "model=B") {
+		t.Fatalf("failed run misreported: %+v", f)
+	}
+}
+
+// TestWatchdogedRunBecomesFailedRun wires the two safety rails together:
+// a livelocked simulation trips the sim watchdog, and the per-worker
+// recover converts that panic into a ledger entry — naming the stuck
+// process — instead of hanging or killing the sweep.
+func TestWatchdogedRunBecomesFailedRun(t *testing.T) {
+	cfg := Config{Model: ModelB, Config: platform.Config{App: smallApp, System: quietSystem}}
+	orig := simulateRun
+	simulateRun = func(c Config, seed uint64) stats.RunResult {
+		if seed == RunSeed(7, 0) {
+			panic(&sim.WatchdogError{Reason: "event limit", Events: 101, Proc: `"compute" (proc 1)`})
+		}
+		return orig(c, seed)
+	}
+	defer func() { simulateRun = orig }()
+	agg := SimulateNWorkers(cfg, 2, 7, 1)
+	if agg.N() != 1 || len(agg.Failed()) != 1 {
+		t.Fatalf("runs=%d failed=%d, want 1/1", agg.N(), len(agg.Failed()))
+	}
+	if err := agg.Failed()[0].Err; !strings.Contains(err, "watchdog") || !strings.Contains(err, "compute") {
+		t.Fatalf("watchdog diagnostic lost in the ledger: %q", err)
+	}
+}

@@ -1,12 +1,29 @@
 package crmodel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"pckpt/internal/metrics"
 	"pckpt/internal/stats"
 )
+
+// simulateRun indirects Simulate so the panic-recovery test can plant a
+// deliberately crashing run without corrupting a real configuration.
+var simulateRun = Simulate
+
+// runSafe executes one run with a recover guard: a panicking run — a bug,
+// or the sim watchdog killing a livelock — is reported as a failure
+// string instead of taking down the whole sweep.
+func runSafe(cfg Config, seed uint64) (r stats.RunResult, failure string) {
+	defer func() {
+		if p := recover(); p != nil {
+			failure = fmt.Sprint(p)
+		}
+	}()
+	return simulateRun(cfg, seed), ""
+}
 
 // SimulateN runs n independent simulations of cfg with seeds derived from
 // baseSeed and aggregates the results. Runs execute in parallel across
@@ -53,6 +70,7 @@ func simulatePool(cfg Config, n int, baseSeed uint64, workers int, meter bool) (
 	}
 	cfg.Metrics = nil // per-run registries only; a shared one would race
 	results := make([]stats.RunResult, n)
+	fails := make([]string, n)
 	var snaps []*metrics.Snapshot
 	if meter {
 		snaps = make([]*metrics.Snapshot, n)
@@ -68,9 +86,14 @@ func simulatePool(cfg Config, n int, baseSeed uint64, workers int, meter bool) (
 				if meter {
 					runCfg.Metrics = metrics.New()
 				}
-				results[i] = Simulate(runCfg, RunSeed(baseSeed, i))
+				r, failed := runSafe(runCfg, RunSeed(baseSeed, i))
+				if failed != "" {
+					fails[i] = failed
+					continue
+				}
+				results[i] = r
 				if meter {
-					snaps[i] = runCfg.Metrics.Snapshot(results[i].WallSeconds)
+					snaps[i] = runCfg.Metrics.Snapshot(r.WallSeconds)
 				}
 			}
 		}()
@@ -81,7 +104,12 @@ func simulatePool(cfg Config, n int, baseSeed uint64, workers int, meter bool) (
 	close(next)
 	wg.Wait()
 	agg := &stats.Agg{}
-	for _, r := range results {
+	desc := fmt.Sprintf("model=%s app=%s system=%s", cfg.Model, cfg.App.Name, cfg.System.Name)
+	for i, r := range results {
+		if fails[i] != "" {
+			agg.AddFailed(stats.FailedRun{Seed: RunSeed(baseSeed, i), Config: desc, Err: fails[i]})
+			continue
+		}
 		agg.Add(r)
 	}
 	merged := &metrics.Snapshot{}

@@ -6,6 +6,7 @@ import (
 
 	"pckpt/internal/cluster"
 	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/oci"
 	"pckpt/internal/platform"
@@ -30,6 +31,9 @@ type appSim struct {
 	stream *failure.Stream
 	est    *failure.RateEstimator
 	cl     *cluster.Cluster
+	// inj is the degraded-platform fault plan (nil = perfect platform;
+	// every hook on nil is a no-op).
+	inj *faultinject.Injector
 
 	// plat holds the precomputed platform quantities (seconds / GB),
 	// derived once by internal/platform; sigma is Eq. (2)'s σ gated on
@@ -66,6 +70,11 @@ func (a *appSim) trace(kind trace.Kind, node int, detail string) {
 	})
 }
 
+// maxRunEvents is the per-run watchdog ceiling: vastly above what any
+// real configuration dispatches, low enough that a livelocked run dies
+// in seconds instead of hanging its sweep worker forever.
+const maxRunEvents = 100_000_000
+
 // Simulate executes one run and returns its accounting. Deterministic in
 // (cfg, seed).
 func Simulate(cfg Config, seed uint64) stats.RunResult {
@@ -90,6 +99,14 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		a.observeCluster()
 	}
 	a.stream = failure.NewStream(cfg.StreamConfig(cfg.Metrics), src.Split(1))
+	// The fault plan draws from its own named substream: with every rate
+	// at zero it consumes no draws, so the run is bit-identical to one
+	// with injection disabled.
+	a.inj = faultinject.New(cfg.Faults, src.Split(faultinject.StreamKey), cfg.Metrics)
+	// A run that stops making progress (however it got there) must fail
+	// fast with a diagnostic, not hang a sweep: real runs dispatch
+	// several orders of magnitude fewer events than this ceiling.
+	a.env.SetWatchdog(maxRunEvents, 0)
 
 	a.app = a.env.Spawn("app", a.run)
 	a.env.Spawn("injector", a.inject)
@@ -159,8 +176,21 @@ func (a *appSim) bbCheckpoint(p *sim.Proc) {
 		return
 	}
 	a.met.bbWrite.Observe(a.env.Now() - began)
+	if a.inj.BBWriteFails() {
+		// The write occupied the BBs for its full duration and then
+		// failed: nothing committed, no drain; the next periodic cycle
+		// checkpoints the (re)computed state.
+		a.res.BBWriteFailures++
+		a.trace(trace.BBWrite, -1, "write failed (injected)")
+		return
+	}
 	a.res.Checkpoints++
 	a.st.CommitBB(a.progress)
+	if a.inj.CorruptCommit() {
+		// Silently torn: the job believes this generation is good; a
+		// restart that reads it will discover otherwise.
+		a.st.MarkCorrupt(a.progress)
+	}
 	a.trace(trace.BBWrite, -1, "")
 	a.cl.RecordBBCheckpointAll(a.progress)
 	captured := a.progress
@@ -172,6 +202,13 @@ func (a *appSim) bbCheckpoint(p *sim.Proc) {
 		// The drain completes unless a newer checkpoint superseded it
 		// (each BB write restarts the drain of the newest data).
 		if current {
+			if a.inj.PFSWriteFails() {
+				// The drain's PFS write failed: the BB copy stands, but
+				// the generation never lands on the PFS.
+				a.res.PFSWriteFailures++
+				a.trace(trace.DrainDone, -1, "drain failed (injected)")
+				return
+			}
 			a.commitFullPFS(captured)
 			a.trace(trace.DrainDone, -1, "")
 		}
@@ -310,6 +347,17 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 		if !a.blockedWait(p, a.plat.SingleNodePFSWrite, &a.res.Overheads.Checkpoint) {
 			break
 		}
+		if a.inj.PFSWriteFails() {
+			// The vulnerable node's prioritized write tore. If the
+			// remaining lead time still covers another attempt, the node
+			// re-enters the lead-time priority queue; otherwise its
+			// prediction goes unserved.
+			a.res.PFSWriteFailures++
+			if ev.Kind == failure.KindPrediction && a.env.Now()+a.plat.SingleNodePFSWrite <= ev.FailTime {
+				ep.Q.Push(ev.FailTime, ev)
+			}
+			continue
+		}
 		ep.Committed++
 		a.met.commitLat.Observe(a.env.Now() - epBegin)
 		a.trace(trace.VulnerableCommit, ev.Node, "")
@@ -339,8 +387,18 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 		}
 		a.met.pfsGBs.Observe(tr.GBs)
 	}
-	a.commitFullPFS(ep.StartProgress)
-	a.st.MarkRescheduled()
+	if a.inj.PFSWriteFails() {
+		// The phase-2 collective write failed: the episode's full
+		// checkpoint never commits (phase-1 mitigations stand — those
+		// nodes' states did reach the PFS).
+		a.res.PFSWriteFailures++
+	} else {
+		a.commitFullPFS(ep.StartProgress)
+		if a.inj.CorruptCommit() {
+			a.st.MarkCorrupt(ep.StartProgress)
+		}
+		a.st.MarkRescheduled()
+	}
 	a.met.episodeDur.Observe(a.env.Now() - epBegin)
 	if a.cfg.Trace != nil {
 		a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.env.Now()-epBegin, ep.Committed))
@@ -362,7 +420,18 @@ func (a *appSim) safeguard(p *sim.Proc) {
 	if !a.blockedWait(p, a.plat.FullPFSWrite, &a.res.Overheads.Checkpoint) {
 		return // the failure won the race (or rolled us back)
 	}
+	if a.inj.PFSWriteFails() {
+		// The safeguard's collective write failed after blocking the
+		// application for its full duration: nothing committed, so the
+		// pending predictions stay unmitigated.
+		a.res.PFSWriteFailures++
+		a.trace(trace.SafeguardEnd, -1, "write failed (injected)")
+		return
+	}
 	a.commitFullPFS(startProgress)
+	if a.inj.CorruptCommit() {
+		a.st.MarkCorrupt(startProgress)
+	}
 	a.st.MarkRescheduled()
 	a.trace(trace.SafeguardEnd, -1, "")
 	now := a.env.Now()
@@ -407,8 +476,16 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 	}
 	// Best restart point: the proactive commit that mitigated this
 	// failure, or the newest consistent periodic checkpoint — whichever
-	// is fresher.
-	q, fullPFSRestore := policy.BestRestart(a.cl.RecoverableProgress(ev.Node), out)
+	// is fresher. On a degraded platform, candidates discovered corrupt
+	// at restore time are discarded in favour of older generations.
+	q, fullPFSRestore, corrupted := a.st.ResolveRestart(a.cl.RecoverableProgress(ev.Node), out)
+	if corrupted > 0 {
+		a.res.CorruptRestarts += corrupted
+		a.inj.ObserveCorruptRestarts(corrupted)
+		// The checkpoint records claiming the discarded generations are
+		// lies now; no later restart may try them again.
+		a.cl.ClampCheckpoints(q)
+	}
 	recovery := a.plat.RecoveryBB
 	if fullPFSRestore {
 		// Recovering from a proactive checkpoint pulls every node's
@@ -436,9 +513,41 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 	if err := a.cl.Replace(ev.Node); err != nil {
 		panic(fmt.Sprintf("crmodel: %v", err))
 	}
-	// Recovery: restart as many times as failures force us to.
+	// Recovery: restart as many times as failures force us to. On a
+	// degraded platform the restore can stretch further: each corrupt
+	// candidate cost a torn read of full restore length before the clean
+	// generation was found; a cascade (secondary failure inside the
+	// window) voids the partial restore; and a failed restart attempt
+	// charges deterministic doubling backoff before the retry.
 	began := a.env.Now()
-	for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
+	for i := 0; i < corrupted; i++ {
+		for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
+		}
+	}
+	attempt, cascades := 0, 0
+	for {
+		if strike, frac := a.inj.CascadeRecovery(); strike && cascades < faultinject.MaxCascadeDepth {
+			cascades++
+			a.res.Cascades++
+			for !a.blockedWait(p, frac*recovery, &a.res.Overheads.Recovery) {
+			}
+			continue
+		}
+		for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
+		}
+		fail, backoff := a.inj.RestartAttemptFails(attempt)
+		if !fail {
+			break
+		}
+		attempt++
+		a.res.RestartRetries++
+		if backoff > 0 {
+			for !a.blockedWait(p, backoff, &a.res.Overheads.Recovery) {
+			}
+		}
+	}
+	if cascades > 0 {
+		a.inj.ObserveCascadeDepth(cascades)
 	}
 	a.met.recoveryDur.Observe(a.env.Now() - began)
 	a.trace(trace.RecoveryDone, ev.Node, "")

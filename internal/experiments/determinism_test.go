@@ -10,7 +10,9 @@ import (
 // results for the same seed. This test pins that invariant on a
 // representative experiment subset — an app-granularity sweep over
 // every model (fig6a), a lead-scale sweep (fig4), and the dual-tier
-// runner (crossval, which exercises SimulateTierN on both tiers).
+// runner (crossval, which exercises SimulateTierN on both tiers), and
+// the degraded-platform sweep (fault-plan draws must replay identically
+// regardless of scheduling).
 func TestWorkersDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run determinism replay is not -short")
@@ -22,6 +24,7 @@ func TestWorkersDeterminism(t *testing.T) {
 		{"fig6a", Params{Runs: 30, Seed: 42, Apps: []string{"CHIMERA"}}},
 		{"fig4", Params{Runs: 30, Seed: 42, Apps: []string{"XGC"}}},
 		{"crossval", Params{Runs: 48, Seed: 42}},
+		{"degraded", Params{Runs: 30, Seed: 42, Apps: []string{"XGC"}}},
 	}
 	for _, tc := range cases {
 		tc := tc

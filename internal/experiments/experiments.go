@@ -13,6 +13,7 @@ import (
 
 	"pckpt/internal/crmodel"
 	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/metrics"
 	"pckpt/internal/platform"
 	"pckpt/internal/runcache"
@@ -53,6 +54,12 @@ type Params struct {
 	// it; leave empty when calling a Def's Run function directly and the
 	// cache will key under the experiment-agnostic "" namespace.
 	Experiment string
+	// Faults, when enabled, injects degraded-platform faults into every
+	// configuration an experiment runs (cmd/experiments -inject-* flags).
+	// The injection rates participate in the platform cache key, so
+	// degraded sweeps never collide with clean ones; the zero value
+	// leaves every experiment bit-identical to an injection-free build.
+	Faults faultinject.Config
 	// Interrupt, when non-nil, aborts the sweep at the next
 	// configuration boundary once closed: already-cached configurations
 	// still resolve, the first un-cached one panics with ErrInterrupted
@@ -117,6 +124,7 @@ func All() []Def {
 		{"globalview", "Extension: p-ckpt with a global system view (paper's out-of-scope item)", GlobalView},
 		{"analytic", "Observation 8: analytical LM vs p-ckpt model (Eqs. 4-8)", Analytic},
 		{"crossval", "Cross-validation: app-level vs node-granular tier on matched seeds", CrossValidation},
+		{"degraded", "Extension: degraded platform — injected write failures, corruption, restart retries", Degraded},
 	}
 }
 
@@ -143,7 +151,7 @@ func (p Params) apps(defaults ...string) []workload.App {
 	for _, n := range names {
 		a, err := workload.ByName(n)
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("experiments: bad app filter: %w", err))
 		}
 		out = append(out, a)
 	}
@@ -165,6 +173,9 @@ func configSeed(base uint64, label string) uint64 {
 // when possible, by simulation otherwise (metering into p.Metrics when
 // collection is on, and flushing the fresh aggregate back to the cache).
 func runConfig(p Params, cfg crmodel.Config, label string) *stats.Agg {
+	if p.Faults.Enabled() && !cfg.Faults.Enabled() {
+		cfg.Faults = p.Faults
+	}
 	key := p.cacheKey(label, cfg.Model, cfg.Config, p.Runs)
 	if agg, ok := p.cacheGet(key, p.Metrics != nil); ok {
 		return agg

@@ -12,8 +12,8 @@ var fastParams = Params{Runs: 80, Seed: 42}
 
 func TestRegistryComplete(t *testing.T) {
 	defs := All()
-	if len(defs) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(defs))
+	if len(defs) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 
 	"pckpt/internal/crmodel"
@@ -58,6 +59,9 @@ func Tiers() []Tier { return []Tier{AppTier(), NodeTier()} }
 // cache (tier runs are never metered, so no snapshot is stored or
 // required).
 func runTier(p Params, t Tier, id policy.ID, plat platform.Config, n int, baseSeed uint64) *stats.Agg {
+	if p.Faults.Enabled() && !plat.Faults.Enabled() {
+		plat.Faults = p.Faults
+	}
 	key := p.cacheKey("tier="+t.Name, id, plat, n)
 	key.Seed = baseSeed
 	if agg, ok := p.cacheGet(key, false); ok {
@@ -72,7 +76,9 @@ func runTier(p Params, t Tier, id policy.ID, plat platform.Config, n int, baseSe
 // SimulateTierN runs n seeds of one catalogue entry on a tier, drawing
 // the identical crmodel.RunSeed sequence either tier's native runner
 // would use, so per-seed results are comparable across tiers. Results
-// aggregate in seed order regardless of worker interleaving.
+// aggregate in seed order regardless of worker interleaving. A run that
+// panics — a model bug, or the sim watchdog killing a livelock — lands
+// in the aggregate's failed-run ledger instead of aborting the sweep.
 func SimulateTierN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed uint64, workers int) *stats.Agg {
 	if workers <= 0 {
 		workers = 1
@@ -80,7 +86,16 @@ func SimulateTierN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed u
 	if workers > n {
 		workers = n
 	}
+	simulateSafe := func(seed uint64) (r stats.RunResult, failure string) {
+		defer func() {
+			if p := recover(); p != nil {
+				failure = fmt.Sprint(p)
+			}
+		}()
+		return t.Simulate(id, plat, seed), ""
+	}
 	results := make([]stats.RunResult, n)
+	fails := make([]string, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -88,7 +103,7 @@ func SimulateTierN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed u
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = t.Simulate(id, plat, crmodel.RunSeed(baseSeed, i))
+				results[i], fails[i] = simulateSafe(crmodel.RunSeed(baseSeed, i))
 			}
 		}()
 	}
@@ -98,7 +113,12 @@ func SimulateTierN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed u
 	close(next)
 	wg.Wait()
 	agg := &stats.Agg{}
-	for _, r := range results {
+	desc := fmt.Sprintf("tier=%s model=%s app=%s", t.Name, id, plat.App.Name)
+	for i, r := range results {
+		if fails[i] != "" {
+			agg.AddFailed(stats.FailedRun{Seed: crmodel.RunSeed(baseSeed, i), Config: desc, Err: fails[i]})
+			continue
+		}
 		agg.Add(r)
 	}
 	return agg

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pckpt/internal/crmodel"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/stats"
+	"pckpt/internal/workload"
+)
+
+// TestSimulateTierNRecoversPanickingRun plants a crashing fake tier in a
+// sweep: the sweep must complete, the surviving seeds must aggregate, and
+// the crash must be ledgered against its exact seed and configuration.
+func TestSimulateTierNRecoversPanickingRun(t *testing.T) {
+	badSeed := crmodel.RunSeed(11, 2)
+	fake := Tier{
+		Name:     "fake",
+		Supports: func(policy.ID) bool { return true },
+		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+			if seed == badSeed {
+				panic("planted tier crash")
+			}
+			return stats.RunResult{WallSeconds: float64(seed % 97)}
+		},
+	}
+	plat := platform.Config{App: workload.App{Name: "fakeapp", Nodes: 4, TotalCkptGB: 4, ComputeHours: 1}}
+	agg := SimulateTierN(fake, policy.P2, plat, 6, 11, 3)
+	if agg.N() != 5 {
+		t.Fatalf("completed runs = %d, want 5", agg.N())
+	}
+	failed := agg.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("failed ledger has %d entries, want 1", len(failed))
+	}
+	f := failed[0]
+	if f.Seed != badSeed || !strings.Contains(f.Err, "planted tier crash") {
+		t.Fatalf("failure misattributed: %+v", f)
+	}
+	for _, want := range []string{"tier=fake", "model=P2", "app=fakeapp"} {
+		if !strings.Contains(f.Config, want) {
+			t.Errorf("ledger config %q missing %q", f.Config, want)
+		}
+	}
+}
+
+// TestBadAppFilterPanicsWithContext pins the harness-hardening change to
+// the app-filter resolution: an unknown application must surface a
+// contextualised error, not a bare workload lookup failure.
+func TestBadAppFilterPanicsWithContext(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unknown app filter did not panic")
+		}
+		if !strings.Contains(strings.ToLower(fmt.Sprint(r)), "bad app filter") {
+			t.Fatalf("panic %v lacks app-filter context", r)
+		}
+	}()
+	Params{Apps: []string{"NOT-AN-APP"}}.apps()
+}

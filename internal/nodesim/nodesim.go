@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/metrics"
 	"pckpt/internal/oci"
@@ -135,6 +136,9 @@ type cluster struct {
 	nodes []*node
 	coord *sim.Proc
 	est   *failure.RateEstimator
+	// inj is the degraded-platform fault plan (nil = perfect platform;
+	// every hook on nil is a no-op).
+	inj *faultinject.Injector
 
 	// plat holds the precomputed platform quantities, derived once by
 	// internal/platform; sigma is Eq. (2)'s σ gated on the policy's LM
@@ -208,6 +212,10 @@ func newNodeMetrics(r *metrics.Registry, pol Policy) nodeMetrics {
 	}
 }
 
+// maxRunEvents is the per-run watchdog ceiling, mirroring crmodel's: far
+// above any real run, low enough that a livelock dies fast.
+const maxRunEvents = 100_000_000
+
 // Simulate executes one node-granular run. Deterministic in (cfg, seed);
 // with the same seed it consumes the identical failure stream as
 // crmodel.Simulate on the matching configuration.
@@ -233,6 +241,13 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	c.met = newNodeMetrics(cfg.Metrics, cfg.Policy)
 	src := rng.New(seed)
 	stream := failure.NewStream(cfg.StreamConfig(cfg.Metrics), src.Split(1))
+	// The fault plan draws from its own named substream (key 2; the
+	// failure stream owns key 1): rate-0 injection consumes no draws and
+	// is bit-identical to injection disabled.
+	c.inj = faultinject.New(cfg.Faults, src.Split(faultinject.StreamKey), cfg.Metrics)
+	// Fail fast with a diagnostic if a run ever stops making progress;
+	// real runs dispatch orders of magnitude fewer events.
+	env.SetWatchdog(maxRunEvents, 0)
 
 	for i := 0; i < cfg.App.Nodes; i++ {
 		n := &node{id: i, ready: sim.NewEvent(env)}
@@ -286,14 +301,28 @@ func (c *cluster) nodeLoop(p *sim.Proc, n *node) {
 // span is the per-node commit latency.
 func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
 	posted := c.env.Now()
-	if err := c.lane.Acquire(p, cmd.deadline); err != nil {
-		return // episode abandoned while queued
-	}
-	c.met.laneWait.Observe(c.env.Now() - posted)
-	err := p.Wait(c.plat.SingleNodePFSWrite)
-	c.lane.Release()
-	if err != nil {
-		return // aborted mid-write
+	for {
+		if err := c.lane.Acquire(p, cmd.deadline); err != nil {
+			return // episode abandoned while queued
+		}
+		c.met.laneWait.Observe(c.env.Now() - posted)
+		err := p.Wait(c.plat.SingleNodePFSWrite)
+		c.lane.Release()
+		if err != nil {
+			return // aborted mid-write
+		}
+		if c.inj.PFSWriteFails() {
+			// The prioritized write tore. If the remaining lead time
+			// covers another attempt, re-enter the lane queue (same
+			// deadline, so the same lead-time priority); otherwise the
+			// prediction goes unserved.
+			c.res.PFSWriteFailures++
+			if c.env.Now()+c.plat.SingleNodePFSWrite <= cmd.deadline {
+				continue
+			}
+			return
+		}
+		break
 	}
 	c.met.commitLat.Observe(c.env.Now() - posted)
 	ep := c.st.Episode()
@@ -430,8 +459,19 @@ func (c *cluster) bbPhase(p *sim.Proc) {
 		remaining -= worked
 	}
 	c.met.bbWrite.Observe(c.env.Now() - began)
+	if c.inj.BBWriteFails() {
+		// The write occupied every BB for its full duration and then
+		// failed: nothing committed, no drain; the next periodic cycle
+		// checkpoints the (re)computed state.
+		c.res.BBWriteFailures++
+		return
+	}
 	c.res.Checkpoints++
 	c.st.CommitBB(c.progress)
+	if c.inj.CorruptCommit() {
+		// Silently torn; discovered only when a restart reads it.
+		c.st.MarkCorrupt(c.progress)
+	}
 	captured := c.progress
 	gen, depth := c.st.BeginDrain()
 	c.met.drainDepth.Set(c.env.Now(), float64(depth))
@@ -439,6 +479,12 @@ func (c *cluster) bbPhase(p *sim.Proc) {
 		depth, current := c.st.FinishDrain(gen)
 		c.met.drainDepth.Set(c.env.Now(), float64(depth))
 		if current {
+			if c.inj.PFSWriteFails() {
+				// The drain's PFS write failed: the BB copy stands, but
+				// the generation never lands on the PFS.
+				c.res.PFSWriteFailures++
+				return
+			}
 			c.st.CommitPFS(captured)
 		}
 	})
@@ -563,8 +609,18 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 	charge()
 	c.met.episodeDur.Observe(c.env.Now() - start)
 	if c.st.Epoch() == epochStart {
-		c.st.CommitPFS(ep.StartProgress)
-		c.st.MarkRescheduled()
+		if c.inj.PFSWriteFails() {
+			// The phase-2 collective write failed: the episode's full
+			// checkpoint never commits (phase-1 mitigations stand —
+			// those nodes' states did reach the PFS).
+			c.res.PFSWriteFailures++
+		} else {
+			c.st.CommitPFS(ep.StartProgress)
+			if c.inj.CorruptCommit() {
+				c.st.MarkCorrupt(ep.StartProgress)
+			}
+			c.st.MarkRescheduled()
+		}
 	}
 }
 
@@ -590,8 +646,14 @@ func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
 	// checkpoint has not finished draining, the consistent restart point
 	// is the older PFS-resident one (Fig. 1 case B) — so the restart
 	// candidate is always the PFS placement, possibly improved by the
-	// proactive commit that mitigated this failure.
-	q, fromPFS := policy.BestRestart(c.st.PFSProgress(), out)
+	// proactive commit that mitigated this failure. On a degraded
+	// platform, candidates discovered corrupt at restore time are
+	// discarded in favour of older retained generations.
+	q, fromPFS, corrupted := c.st.ResolveRestart(c.st.PFSProgress(), out)
+	if corrupted > 0 {
+		c.res.CorruptRestarts += corrupted
+		c.inj.ObserveCorruptRestarts(corrupted)
+	}
 	recovery := c.plat.RecoveryBB
 	if fromPFS {
 		recovery = c.plat.RecoveryPFS
@@ -608,25 +670,75 @@ func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
 	pausedBefore := c.pausedInPhase
 	for !c.awaitPhase(p) {
 	}
-	start := c.env.Now()
-	post := func() {
-		for _, n := range c.nodes {
-			if !n.busy {
-				c.post(n, command{kind: cmdRecover, dur: recovery})
+	// restore runs one restore phase of the given duration on every node.
+	restore := func(dur float64) {
+		start := c.env.Now()
+		post := func() {
+			for _, n := range c.nodes {
+				if !n.busy {
+					c.post(n, command{kind: cmdRecover, dur: dur})
+				}
 			}
 		}
-	}
-	post()
-	for !c.awaitPhase(p) {
-		// Another failure during recovery: the nested handler recovered
-		// already; redo this one's restore on whatever is idle.
-		start = c.env.Now()
 		post()
+		for !c.awaitPhase(p) {
+			// Another failure during recovery: the nested handler
+			// recovered already; redo this one's restore on whatever is
+			// idle.
+			start = c.env.Now()
+			post()
+		}
+		c.met.recoveryDur.Observe(c.env.Now() - start)
+		c.res.Overheads.Recovery += c.env.Now() - start
 	}
-	c.met.recoveryDur.Observe(c.env.Now() - start)
-	c.res.Overheads.Recovery += c.env.Now() - start
+	// Each corrupt candidate cost a torn read of full restore length
+	// before the clean generation was found.
+	for i := 0; i < corrupted; i++ {
+		restore(recovery)
+	}
+	// The restore itself, stretched by cascades (a secondary failure
+	// inside the window voids the partial restore) and by failed restart
+	// attempts (deterministic doubling backoff, charged as downtime).
+	attempt, cascades := 0, 0
+	for {
+		if strike, frac := c.inj.CascadeRecovery(); strike && cascades < faultinject.MaxCascadeDepth {
+			cascades++
+			c.res.Cascades++
+			restore(frac * recovery)
+			continue
+		}
+		restore(recovery)
+		fail, backoff := c.inj.RestartAttemptFails(attempt)
+		if !fail {
+			break
+		}
+		attempt++
+		c.res.RestartRetries++
+		if backoff > 0 {
+			c.coordWait(p, backoff)
+		}
+	}
+	if cascades > 0 {
+		c.inj.ObserveCascadeDepth(cascades)
+	}
 	nested := c.pausedInPhase - pausedBefore
 	c.pausedInPhase = pausedBefore + nested + ((c.env.Now() - pauseStart) - nested)
+}
+
+// coordWait blocks the coordinator for dur seconds of restart backoff,
+// charging the waited spans as recovery downtime and handling injected
+// events that interrupt it (a secondary failure during backoff recovers
+// recursively, then the remaining backoff elapses).
+func (c *cluster) coordWait(p *sim.Proc, dur float64) {
+	target := c.env.Now() + dur
+	for c.env.Now() < target {
+		start := c.env.Now()
+		err := p.Wait(target - c.env.Now())
+		c.res.Overheads.Recovery += c.env.Now() - start
+		if err != nil {
+			c.handleEvents(p)
+		}
+	}
 }
 
 // bankCompute folds the in-flight compute segment into progress; pausing

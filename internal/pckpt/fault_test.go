@@ -1,0 +1,104 @@
+package pckpt
+
+import (
+	"testing"
+
+	"pckpt/internal/faultinject"
+)
+
+// faultCfg arms the episode with a fault plan.
+func faultCfg(nodes int, f faultinject.Config, seed uint64) Config {
+	cfg := testConfig(nodes, 10, false)
+	cfg.Faults = f
+	cfg.FaultSeed = seed
+	return cfg
+}
+
+// TestZeroRateInjectionBitIdentical pins the hygiene contract at the
+// episode level: arming the injector with no rates changes nothing.
+func TestZeroRateInjectionBitIdentical(t *testing.T) {
+	cfg := testConfig(16, 10, false)
+	write := cfg.IO.SingleNodePFSWriteTime(10)
+	preds := []Prediction{
+		{Node: 3, At: 0, Lead: write + 5},
+		{Node: 7, At: 0, Lead: 3 * write},
+	}
+	clean := Run(cfg, preds)
+	armed := Run(faultCfg(16, faultinject.Config{RestartRetries: 5}, 1), preds)
+	if clean.Phase1End != armed.Phase1End || clean.Phase2End != armed.Phase2End ||
+		len(clean.Outcomes) != len(armed.Outcomes) || armed.WriteFailures != 0 || armed.Requeues != 0 {
+		t.Fatalf("rate-0 injection diverged:\nclean %+v\narmed %+v", clean, armed)
+	}
+}
+
+// TestFailedWriteRequeuesWithLeadToSpare gives one node lead for several
+// attempts under a high failure rate: the failed prioritized writes must
+// re-enter the queue and eventually commit in time.
+func TestFailedWriteRequeuesWithLeadToSpare(t *testing.T) {
+	cfg := testConfig(16, 10, false)
+	write := cfg.IO.SingleNodePFSWriteTime(10)
+	// Find a seed whose plan fails the first attempt, so the requeue path
+	// demonstrably runs (the plan is deterministic per seed).
+	for seed := uint64(1); seed <= 50; seed++ {
+		r := Run(faultCfg(16, faultinject.Config{PFSWriteFailProb: 0.5}, seed),
+			[]Prediction{{Node: 3, At: 0, Lead: 20 * write}})
+		if r.Requeues == 0 {
+			continue
+		}
+		o := r.Outcomes[0]
+		if !o.Mitigated {
+			t.Fatalf("seed %d: node with 20 writes of lead not mitigated after %d requeues", seed, r.Requeues)
+		}
+		if r.WriteFailures < r.Requeues {
+			t.Fatalf("seed %d: %d write failures < %d requeues", seed, r.WriteFailures, r.Requeues)
+		}
+		// Each failed attempt costs a full write: commit lands late by
+		// exactly the retries.
+		if want := write * float64(r.Requeues+1); o.DoneAt < want-1e-9 {
+			t.Fatalf("seed %d: committed at %.3f, want ≥ %.3f after %d requeues", seed, o.DoneAt, want, r.Requeues)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..50 failed a write at p=0.5 (injector not drawing?)")
+}
+
+// TestFailedWriteAbandonsWhenLeadExhausted gives the node lead for
+// exactly one attempt: a failed write cannot requeue and the prediction
+// goes unserved.
+func TestFailedWriteAbandonsWhenLeadExhausted(t *testing.T) {
+	cfg := testConfig(16, 10, false)
+	write := cfg.IO.SingleNodePFSWriteTime(10)
+	for seed := uint64(1); seed <= 50; seed++ {
+		r := Run(faultCfg(16, faultinject.Config{PFSWriteFailProb: 0.5}, seed),
+			[]Prediction{{Node: 3, At: 0, Lead: write * 1.5}})
+		if r.WriteFailures == 0 {
+			continue
+		}
+		o := r.Outcomes[0]
+		if o.Mitigated {
+			t.Fatalf("seed %d: abandoned node reported mitigated: %+v", seed, o)
+		}
+		if r.Requeues != 0 {
+			t.Fatalf("seed %d: requeued with lead for only one attempt", seed)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..50 failed a write at p=0.5 (injector not drawing?)")
+}
+
+// TestPhase2RetriesAreBounded floods the collective write with failures;
+// the bounded retry must still terminate the episode with the extra
+// writes charged.
+func TestPhase2RetriesAreBounded(t *testing.T) {
+	cfg := faultCfg(16, faultinject.Config{PFSWriteFailProb: 0.9}, 7)
+	write := cfg.IO.SingleNodePFSWriteTime(10)
+	r := Run(cfg, []Prediction{{Node: 3, At: 0, Lead: 100 * write}})
+	if r.Phase2End <= r.Phase1End {
+		t.Fatal("phase 2 never completed")
+	}
+	maxRetries := faultinject.MaxCascadeDepth
+	tr := cfg.IO.PFSWriteTransfer(15, 10)
+	if limit := r.Phase1End + float64(maxRetries+1)*tr.Seconds + 1e-6; r.Phase2End > limit {
+		t.Fatalf("phase 2 ended at %.3f, beyond the bounded-retry limit %.3f", r.Phase2End, limit)
+	}
+}

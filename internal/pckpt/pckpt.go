@@ -31,10 +31,12 @@ import (
 	"fmt"
 	"sort"
 
+	"pckpt/internal/faultinject"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
 	"pckpt/internal/queue"
+	"pckpt/internal/rng"
 	"pckpt/internal/sim"
 )
 
@@ -83,6 +85,14 @@ type Config struct {
 	// wait, per-node commit latency, phase-2 effective bandwidth). Nil
 	// costs nothing.
 	Metrics *metrics.Registry
+	// Faults is the degraded-platform fault plan: a prioritized write
+	// that fails re-enters the lead-time priority queue if the remaining
+	// lead covers another attempt, or its prediction goes unserved. The
+	// zero value is a perfect platform.
+	Faults faultinject.Config
+	// FaultSeed seeds the fault plan's rng substream (only consulted when
+	// Faults is non-zero; the episode is deterministic in it).
+	FaultSeed uint64
 }
 
 // Validate reports a configuration error, or nil.
@@ -100,7 +110,7 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // Prediction is one failure prediction injected into the episode.
@@ -143,10 +153,17 @@ type Result struct {
 	// Outcomes lists every vulnerable node's path, in completion order.
 	Outcomes []Outcome
 	// CommitOrder is the order nodes were granted prioritized PFS
-	// access in phase 1.
+	// access in phase 1 (a node whose write tore and was requeued
+	// appears once per grant).
 	CommitOrder []int
 	// Trace is a human-readable protocol event log.
 	Trace []string
+	// WriteFailures counts injected PFS write failures (phase 1 and
+	// phase 2); zero on a perfect platform.
+	WriteFailures int
+	// Requeues counts vulnerable nodes that re-entered the priority
+	// queue after a torn prioritized write.
+	Requeues int
 }
 
 // Mitigated returns how many vulnerable nodes finished before their
@@ -187,6 +204,8 @@ type episode struct {
 	pending int
 	// migrations tracks in-flight migrations for the abort broadcast.
 	migrations map[int]*sim.Proc
+	// inj is the degraded-platform fault plan (nil = perfect platform).
+	inj *faultinject.Injector
 
 	met epMetrics
 
@@ -252,6 +271,10 @@ func Run(cfg Config, preds []Prediction) *Result {
 		migrations: make(map[int]*sim.Proc),
 	}
 	e.met = newEpMetrics(cfg.Metrics)
+	// The fault plan draws from the dedicated injection substream of
+	// FaultSeed's source; a zero Faults config yields the nil (no-op)
+	// injector and consumes nothing.
+	e.inj = faultinject.New(cfg.Faults, rng.New(cfg.FaultSeed).Split(faultinject.StreamKey), cfg.Metrics)
 	env.Spawn("arbiter", e.arbiter)
 	for i, p := range preds {
 		p := p
@@ -317,22 +340,43 @@ func (e *episode) startPckpt() {
 }
 
 // joinQueue enqueues the node by deadline priority and blocks until its
-// prioritized write completes.
+// prioritized write completes. On a degraded platform a torn write
+// re-enters the queue — same deadline, so the same lead-time priority —
+// as long as the remaining lead covers another attempt; once it cannot,
+// the prediction goes unserved.
 func (e *episode) joinQueue(proc *sim.Proc, node int, deadline float64, action Action) {
-	vn := &vulnNode{node: node, deadline: deadline, turn: sim.NewEvent(e.env)}
+	write := e.cfg.IO.SingleNodePFSWriteTime(e.cfg.PerNodeGB)
 	enqueued := e.env.Now()
 	e.pending++
-	e.vulnQ.Push(deadline, vn)
-	e.met.queueDepth.Set(enqueued, float64(e.vulnQ.Len()))
-	e.tracef("node %d queued (deadline %.2fs, queue depth %d)", node, deadline, e.vulnQ.Len())
-	e.queued.Trigger()
-	if err := proc.WaitEvent(vn.turn); err != nil {
-		panic(fmt.Sprintf("pckpt: queue turn interrupted: %v", err))
-	}
-	e.met.laneWait.Observe(e.env.Now() - enqueued)
-	// The arbiter granted exclusive PFS access; write uncontended.
-	if err := proc.Wait(e.cfg.IO.SingleNodePFSWriteTime(e.cfg.PerNodeGB)); err != nil {
-		panic(fmt.Sprintf("pckpt: prioritized write interrupted: %v", err))
+	for {
+		vn := &vulnNode{node: node, deadline: deadline, turn: sim.NewEvent(e.env)}
+		e.vulnQ.Push(deadline, vn)
+		e.met.queueDepth.Set(e.env.Now(), float64(e.vulnQ.Len()))
+		e.tracef("node %d queued (deadline %.2fs, queue depth %d)", node, deadline, e.vulnQ.Len())
+		e.queued.Trigger()
+		if err := proc.WaitEvent(vn.turn); err != nil {
+			panic(fmt.Sprintf("pckpt: queue turn interrupted: %v", err))
+		}
+		e.met.laneWait.Observe(e.env.Now() - enqueued)
+		// The arbiter granted exclusive PFS access; write uncontended.
+		if err := proc.Wait(write); err != nil {
+			panic(fmt.Sprintf("pckpt: prioritized write interrupted: %v", err))
+		}
+		if e.inj.PFSWriteFails() {
+			e.result.WriteFailures++
+			if e.env.Now()+write <= deadline {
+				e.tracef("node %d prioritized write FAILED (injected): re-enters the queue", node)
+				e.result.Requeues++
+				e.writeDone.Trigger()
+				continue
+			}
+			e.tracef("node %d prioritized write FAILED (injected): lead exhausted, commit abandoned", node)
+			e.record(Outcome{Node: node, Action: action, Deadline: deadline, DoneAt: e.env.Now(), Mitigated: false})
+			e.pending--
+			e.writeDone.Trigger()
+			return
+		}
+		break
 	}
 	done := e.env.Now()
 	e.met.commitLat.Observe(done - enqueued)
@@ -395,8 +439,19 @@ func (e *episode) finish(proc *sim.Proc) {
 	e.pfsCommit.Trigger()
 	if healthy > 0 {
 		tr := e.cfg.IO.PFSWriteTransfer(healthy, e.cfg.PerNodeGB)
-		if err := proc.Wait(tr.Seconds); err != nil {
-			panic(fmt.Sprintf("pckpt: phase-2 write interrupted: %v", err))
+		for attempt := 0; ; attempt++ {
+			if err := proc.Wait(tr.Seconds); err != nil {
+				panic(fmt.Sprintf("pckpt: phase-2 write interrupted: %v", err))
+			}
+			if attempt < faultinject.MaxCascadeDepth && e.inj.PFSWriteFails() {
+				// The collective write failed after its full duration;
+				// the healthy nodes redo it (bounded, so a pathological
+				// plan cannot spin the episode forever).
+				e.result.WriteFailures++
+				e.tracef("phase-2 collective write FAILED (injected): retrying")
+				continue
+			}
+			break
 		}
 		e.met.pfsGBs.Observe(tr.GBs)
 	}

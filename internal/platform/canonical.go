@@ -20,7 +20,7 @@ func (c Config) CanonicalString() string {
 	c = c.WithDefaults()
 	var b strings.Builder
 	io := c.IO.Config()
-	b.WriteString("platform/v1\n")
+	b.WriteString("platform/v2\n")
 	fmt.Fprintf(&b, "app=%s|%d|%s|%s\n", c.App.Name, c.App.Nodes, cf(c.App.TotalCkptGB), cf(c.App.ComputeHours))
 	fmt.Fprintf(&b, "system=%s|%s|%s|%d\n", c.System.Name, cf(c.System.Shape), cf(c.System.ScaleHours), c.System.Nodes)
 	fmt.Fprintf(&b, "io=%s|%s|%s|%s|%s|%d|%d|%s|%s|%s|%d\n",
@@ -40,6 +40,10 @@ func (c Config) CanonicalString() string {
 	fmt.Fprintf(&b, "predictor=%s|%s|%t\n", cf(c.FNRate), cf(c.FPRate), c.PerfectPredictor)
 	fmt.Fprintf(&b, "oci-refresh=%s\n", cf(c.OCIRefreshSeconds))
 	fmt.Fprintf(&b, "accuracy-aware-sigma=%t\n", c.AccuracyAwareSigma)
+	fmt.Fprintf(&b, "faults=%s|%s|%s|%s|%d|%s|%s\n",
+		cf(c.Faults.BBWriteFailProb), cf(c.Faults.PFSWriteFailProb), cf(c.Faults.CorruptProb),
+		cf(c.Faults.RestartFailProb), c.Faults.RestartRetries, cf(c.Faults.RestartBackoffSeconds),
+		cf(c.Faults.CascadeProb))
 	return b.String()
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/lm"
 	"pckpt/internal/workload"
@@ -54,6 +55,9 @@ func TestCanonicalStringSensitivity(t *testing.T) {
 			c.IO = iomodel.New(io)
 		},
 		"leads": func(c *Config) { c.Leads = failure.DefaultLeadTimes().Scaled(2) },
+		"faults": func(c *Config) {
+			c.Faults = faultinject.Config{PFSWriteFailProb: 0.05}
+		},
 	}
 	for name, mutate := range mutations {
 		c := testConfig()
@@ -68,7 +72,7 @@ func TestCanonicalStringSensitivity(t *testing.T) {
 func TestCanonicalStringVersionedAndStable(t *testing.T) {
 	c := testConfig()
 	s := c.CanonicalString()
-	if !strings.HasPrefix(s, "platform/v1\n") {
+	if !strings.HasPrefix(s, "platform/v2\n") {
 		t.Fatalf("missing version header: %q", s[:min(len(s), 40)])
 	}
 	if s != c.CanonicalString() {

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/iomodel"
 	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
@@ -52,6 +53,10 @@ type Config struct {
 	// coverage when the false-negative rate climbs. Off by default to
 	// match the published models.
 	AccuracyAwareSigma bool
+	// Faults is the degraded-platform fault plan (checkpoint-write
+	// failures, silent corruption, restart retries, recovery cascades).
+	// The zero value is a perfect platform. See internal/faultinject.
+	Faults faultinject.Config
 }
 
 // WithDefaults returns a copy with zero fields defaulted. Idempotent.
@@ -81,6 +86,7 @@ func (c Config) WithDefaults() Config {
 	if c.OCIRefreshSeconds == 0 {
 		c.OCIRefreshSeconds = 3600
 	}
+	c.Faults = c.Faults.WithDefaults()
 	return c
 }
 
@@ -106,6 +112,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform: FP rate outside [0, 1)")
 	case c.OCIRefreshSeconds < 0:
 		return fmt.Errorf("platform: negative OCI refresh period")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -187,6 +196,8 @@ type Derived struct {
 	// RecoveryPFS is the mitigated-failure recovery path: all nodes
 	// restore from the PFS.
 	RecoveryPFS float64
+	// Faults is the (defaulted) fault plan the tiers inject from.
+	Faults faultinject.Config
 }
 
 // Derive computes every platform quantity from the configuration.
@@ -206,5 +217,6 @@ func (c Config) Derive() Derived {
 		FullPFSWrite:       c.IO.PFSWriteTime(nodes, perNode),
 		RecoveryBB:         math.Max(c.IO.BBReadTime(perNode), c.IO.SingleNodePFSReadTime(perNode)),
 		RecoveryPFS:        c.IO.PFSReadTime(nodes, perNode),
+		Faults:             c.Faults,
 	}
 }

@@ -73,12 +73,29 @@ type State struct {
 	drainGen       int
 	drainsInFlight int
 
+	// pfsGens retains the progress values of superseded PFS-resident
+	// generations (ascending, newest last, capped at maxPFSGens), so a
+	// restart on a degraded platform can fall back past a corrupt newest
+	// generation instead of losing everything.
+	pfsGens []float64
+	// corruptGens marks committed checkpoint generations (keyed by their
+	// progress value) that the platform silently tore at commit time. The
+	// marks are invisible to the running job — they are consulted, and the
+	// damage discovered, only inside ResolveRestart. Nil unless fault
+	// injection marks something.
+	corruptGens map[float64]bool
+
 	predicted   map[int64]Prediction // outstanding true predictions
 	mitigatedAt map[int64]float64    // failure ID → PFS-recoverable progress
 	avoided     map[int64]bool       // failure IDs neutralised by LM
 	migrations  map[int]*Migration   // node → in-flight migration
 	episode     *Episode             // non-nil while a p-ckpt episode runs
 }
+
+// maxPFSGens caps the retained superseded-generation history. Eight
+// generations of fallback is far beyond any plausible corruption streak;
+// the cap keeps State allocation bounded on long runs.
+const maxPFSGens = 8
 
 // NewState returns the start-of-run lifecycle state.
 func NewState() *State {
@@ -228,9 +245,17 @@ func (s *State) CommitBB(progress float64) { s.bbProgress = progress }
 
 // CommitPFS records a full-application checkpoint at progress as
 // PFS-resident, if it is newer than the one already there; it reports
-// whether the placement advanced.
+// whether the placement advanced. The superseded generation is retained
+// (capped) so ResolveRestart can fall back to it if the newer one turns
+// out corrupt.
 func (s *State) CommitPFS(progress float64) bool {
 	if progress > s.pfsProgress {
+		if s.pfsProgress >= 0 {
+			s.pfsGens = append(s.pfsGens, s.pfsProgress)
+			if len(s.pfsGens) > maxPFSGens {
+				s.pfsGens = s.pfsGens[1:]
+			}
+		}
 		s.pfsProgress = progress
 		return true
 	}
@@ -254,6 +279,62 @@ func (s *State) TakeRescheduled() bool {
 	return r
 }
 
+// MarkCorrupt records that the committed checkpoint generation at
+// progress was silently torn by the platform (fault injection draws this
+// at commit time). The running job cannot see the mark; only
+// ResolveRestart consults it.
+func (s *State) MarkCorrupt(progress float64) {
+	if s.corruptGens == nil {
+		s.corruptGens = make(map[float64]bool)
+	}
+	s.corruptGens[progress] = true
+}
+
+// RetainedPFSGenerations returns how many superseded PFS generations are
+// retained as fallback candidates.
+func (s *State) RetainedPFSGenerations() int { return len(s.pfsGens) }
+
+// dropGeneration discards a checkpoint generation discovered corrupt: if
+// it was the newest PFS placement, the newest retained older generation
+// takes its place (or none remains); otherwise it is removed from the
+// retained history. The corruption mark is consumed with it.
+func (s *State) dropGeneration(progress float64) {
+	delete(s.corruptGens, progress)
+	if progress == s.pfsProgress {
+		if n := len(s.pfsGens); n > 0 {
+			s.pfsProgress = s.pfsGens[n-1]
+			s.pfsGens = s.pfsGens[:n-1]
+		} else {
+			s.pfsProgress = -1
+		}
+		return
+	}
+	for i := len(s.pfsGens) - 1; i >= 0; i-- {
+		if s.pfsGens[i] == progress {
+			s.pfsGens = append(s.pfsGens[:i], s.pfsGens[i+1:]...)
+			return
+		}
+	}
+}
+
+// newestGenBelow returns the newest PFS-resident generation strictly
+// older than progress — the current placement or a retained one — or -1
+// if none remains. (The tier's candidate q can be a newer BB-resident
+// generation, in which case the newest PFS placement is itself a
+// fallback candidate.)
+func (s *State) newestGenBelow(progress float64) float64 {
+	best := -1.0
+	if s.pfsProgress < progress {
+		best = s.pfsProgress
+	}
+	for _, g := range s.pfsGens {
+		if g < progress && g > best {
+			best = g
+		}
+	}
+	return best
+}
+
 // BestRestart resolves the restart point after a failure: the proactive
 // commit that mitigated it, or the tier's newest consistent checkpoint
 // progress q — whichever is fresher. It returns the restart progress
@@ -269,4 +350,47 @@ func BestRestart(q float64, out FailureOutcome) (progress float64, fromPFS bool)
 		q = 0
 	}
 	return q, fromPFS
+}
+
+// ResolveRestart is BestRestart on a possibly-degraded platform: it
+// walks the restart candidates newest-first — the mitigated proactive
+// commit when it covers q, then the tier's checkpoint at q, then the
+// retained older PFS generations — discarding every candidate whose
+// generation carries a silent-corruption mark. Each discarded candidate
+// is a restore attempt that read a torn checkpoint (the tier charges it
+// as recovery time); discovered-corrupt generations are dropped from the
+// state so no later restart tries them again. Restarting from the
+// beginning needs no checkpoint and always succeeds. With no corruption
+// marks the result is exactly BestRestart's.
+func (s *State) ResolveRestart(q float64, out FailureOutcome) (progress float64, fromPFS bool, corrupted int) {
+	if out.Mitigated && out.MitigatedAt >= q {
+		if !s.corruptGens[out.MitigatedAt] {
+			p := out.MitigatedAt
+			if p < 0 {
+				p = 0
+			}
+			return p, true, corrupted
+		}
+		corrupted++
+		s.dropGeneration(out.MitigatedAt)
+	}
+	if q >= 0 {
+		if !s.corruptGens[q] {
+			return q, false, corrupted
+		}
+		corrupted++
+		s.dropGeneration(q)
+		for {
+			g := s.newestGenBelow(q)
+			if g < 0 {
+				break
+			}
+			if !s.corruptGens[g] {
+				return g, true, corrupted
+			}
+			corrupted++
+			s.dropGeneration(g)
+		}
+	}
+	return 0, false, corrupted
 }

@@ -53,6 +53,12 @@ type Env struct {
 	// compacted in one pass so storms of retracted timeouts cannot grow
 	// the heap without bound.
 	ncancelled int
+	// Watchdog limits (see SetWatchdog): wdMaxEvents / wdMaxSim of zero
+	// disable the respective check; wdEvents counts dispatched events
+	// since the watchdog was armed.
+	wdMaxEvents uint64
+	wdMaxSim    float64
+	wdEvents    uint64
 }
 
 type itemKind uint8
@@ -101,6 +107,9 @@ func (e *Env) Release() {
 	e.nstarted = 0
 	e.ncancelled = 0
 	e.failure = nil
+	e.wdMaxEvents = 0
+	e.wdMaxSim = 0
+	e.wdEvents = 0
 	envPool.Put(e)
 }
 
@@ -217,6 +226,7 @@ func (e *Env) Run(until float64) float64 {
 			continue
 		}
 		e.now = at
+		e.watch(it)
 		e.dispatch(it)
 		if e.failed {
 			panic(e.failure)
@@ -235,6 +245,7 @@ func (e *Env) RunAll() float64 {
 			continue
 		}
 		e.now = it.at
+		e.watch(it)
 		e.dispatch(it)
 		if e.failed {
 			panic(e.failure)

@@ -1,0 +1,67 @@
+package sim
+
+import "fmt"
+
+// WatchdogError is the panic value Run/RunAll raise when an armed
+// watchdog limit trips: a livelocked process (two processes handing an
+// event back and forth at the same timestamp, a Wait(0) loop) would
+// otherwise spin the dispatch loop forever with the simulated clock
+// frozen. The error names the process whose event tripped the limit —
+// in a livelock that is the stuck process (or one of the pair) — which
+// is the first thing needed to debug it.
+type WatchdogError struct {
+	// Reason says which limit tripped ("event limit" or "sim-time limit").
+	Reason string
+	// Events is how many events had been dispatched when the limit tripped.
+	Events uint64
+	// Now is the simulated time at the trip.
+	Now float64
+	// Proc names the process whose event tripped the limit; a scheduler
+	// callback (Env.At) reports as "(scheduler callback)".
+	Proc string
+}
+
+func (w *WatchdogError) Error() string {
+	return fmt.Sprintf("sim: watchdog %s exceeded after %d events at t=%gs (next event: %s)",
+		w.Reason, w.Events, w.Now, w.Proc)
+}
+
+// SetWatchdog arms (or, with two zeros, disarms) the environment's
+// watchdog: Run/RunAll panic with a *WatchdogError once more than
+// maxEvents events have been dispatched since arming, or once the clock
+// reaches an event past maxSimSeconds. Zero disables the respective
+// limit. The event counter restarts at every SetWatchdog call, and a
+// Release resets both limits — a pooled environment never inherits a
+// previous run's watchdog.
+//
+// The panic propagates out of Run like a process panic, so a harness
+// with a per-worker recover reports the stuck run and moves on instead
+// of hanging a whole sweep on one livelocked process.
+func (e *Env) SetWatchdog(maxEvents uint64, maxSimSeconds float64) {
+	e.wdMaxEvents = maxEvents
+	e.wdMaxSim = maxSimSeconds
+	e.wdEvents = 0
+}
+
+// watch enforces the armed limits against the live entry about to
+// dispatch. Hot path: one predictable branch per event when disarmed.
+func (e *Env) watch(it *item) {
+	if e.wdMaxEvents == 0 && e.wdMaxSim == 0 {
+		return
+	}
+	e.wdEvents++
+	if e.wdMaxEvents > 0 && e.wdEvents > e.wdMaxEvents {
+		panic(&WatchdogError{Reason: "event limit", Events: e.wdEvents, Now: e.now, Proc: e.procName(it)})
+	}
+	if e.wdMaxSim > 0 && e.now > e.wdMaxSim {
+		panic(&WatchdogError{Reason: "sim-time limit", Events: e.wdEvents, Now: e.now, Proc: e.procName(it)})
+	}
+}
+
+// procName renders the owner of a heap entry for diagnostics.
+func (e *Env) procName(it *item) string {
+	if it.proc != nil {
+		return fmt.Sprintf("%q (proc %d)", it.proc.name, it.proc.id)
+	}
+	return "(scheduler callback)"
+}

@@ -9,14 +9,17 @@ import "encoding/json"
 // original did. encoding/json renders float64s shortest-round-trip, so
 // the encode/decode cycle is lossless bit-for-bit.
 
-// aggJSON is the wire form of an Agg.
+// aggJSON is the wire form of an Agg. The failed-run ledger is omitted
+// when empty, so aggregates from healthy sweeps encode exactly as they
+// did before the ledger existed.
 type aggJSON struct {
-	Runs []RunResult `json:"runs"`
+	Runs   []RunResult `json:"runs"`
+	Failed []FailedRun `json:"failed,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (a *Agg) MarshalJSON() ([]byte, error) {
-	return json.Marshal(aggJSON{Runs: a.runs})
+	return json.Marshal(aggJSON{Runs: a.runs, Failed: a.failed})
 }
 
 // UnmarshalJSON implements json.Unmarshaler, replacing any previously
@@ -27,6 +30,7 @@ func (a *Agg) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	a.runs = w.Runs
+	a.failed = w.Failed
 	return nil
 }
 
@@ -39,4 +43,5 @@ func (a *Agg) Merge(o *Agg) {
 		return
 	}
 	a.runs = append(a.runs, o.runs...)
+	a.failed = append(a.failed, o.failed...)
 }

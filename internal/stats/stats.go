@@ -67,6 +67,25 @@ type RunResult struct {
 	Migrations int
 	// AbortedMigrations counts migrations superseded by p-ckpt.
 	AbortedMigrations int
+
+	// Degraded-platform accounting (all zero on a perfect platform; see
+	// internal/faultinject).
+
+	// BBWriteFailures counts injected burst-buffer checkpoint-write
+	// failures.
+	BBWriteFailures int `json:",omitempty"`
+	// PFSWriteFailures counts injected PFS write failures (drains,
+	// safeguards, prioritized writes, phase-2 collectives).
+	PFSWriteFailures int `json:",omitempty"`
+	// CorruptRestarts counts checkpoint generations discovered corrupt
+	// while resolving restarts.
+	CorruptRestarts int `json:",omitempty"`
+	// RestartRetries counts failed restart attempts that were retried
+	// after backoff.
+	RestartRetries int `json:",omitempty"`
+	// Cascades counts secondary failures that landed inside recovery
+	// windows.
+	Cascades int `json:",omitempty"`
 }
 
 // TotalFailures returns all failure events, including avoided ones.
@@ -118,19 +137,42 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// Agg accumulates RunResults across repeated seeds.
+// FailedRun records a simulation run that panicked instead of
+// completing: the per-worker recover in the run pools converts the panic
+// into this record so one bad run reports its seed and configuration
+// without killing the rest of the sweep.
+type FailedRun struct {
+	// Seed is the derived per-run seed that reproduces the panic.
+	Seed uint64 `json:"seed"`
+	// Config describes the failing configuration (model, app, tier).
+	Config string `json:"config"`
+	// Err is the recovered panic value's rendering.
+	Err string `json:"err"`
+}
+
+// Agg accumulates RunResults across repeated seeds, plus the ledger of
+// runs that failed to complete.
 type Agg struct {
-	runs []RunResult
+	runs   []RunResult
+	failed []FailedRun
 }
 
 // Add records one run.
 func (a *Agg) Add(r RunResult) { a.runs = append(a.runs, r) }
 
-// N returns the number of recorded runs.
+// AddFailed records a run that panicked. Failed runs are excluded from
+// every derived statistic; they exist so the sweep can finish and still
+// report exactly what broke.
+func (a *Agg) AddFailed(f FailedRun) { a.failed = append(a.failed, f) }
+
+// N returns the number of recorded (completed) runs.
 func (a *Agg) N() int { return len(a.runs) }
 
 // Runs returns the recorded results.
 func (a *Agg) Runs() []RunResult { return a.runs }
+
+// Failed returns the ledger of runs that panicked instead of completing.
+func (a *Agg) Failed() []FailedRun { return a.failed }
 
 // MeanOverheads returns the run-averaged overhead breakdown.
 func (a *Agg) MeanOverheads() Overheads {
@@ -169,6 +211,29 @@ func (a *Agg) MeanWallSeconds() float64 {
 		sum += r.WallSeconds
 	}
 	return sum / float64(len(a.runs))
+}
+
+// FaultCounts aggregates the degraded-platform fault counters over a
+// sweep.
+type FaultCounts struct {
+	BBWriteFailures  int
+	PFSWriteFailures int
+	CorruptRestarts  int
+	RestartRetries   int
+	Cascades         int
+}
+
+// FaultTotals sums the injected-fault counters across completed runs.
+func (a *Agg) FaultTotals() FaultCounts {
+	var f FaultCounts
+	for _, r := range a.runs {
+		f.BBWriteFailures += r.BBWriteFailures
+		f.PFSWriteFailures += r.PFSWriteFailures
+		f.CorruptRestarts += r.CorruptRestarts
+		f.RestartRetries += r.RestartRetries
+		f.Cascades += r.Cascades
+	}
+	return f
 }
 
 // TotalSummary returns descriptive statistics of the total overhead.
