@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-update cachepass bench bench-smoke ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-update spec-validate cachepass bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,18 @@ golden:
 golden-degraded:
 	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/degraded' ./internal/experiments
 
+# golden-scenario gates just the scenario experiment: the committed
+# golden pins every embedded spec's cells, so a drift in spec parsing,
+# normalization, cohort scaling, or trace replay shows up as a cell diff.
+golden-scenario:
+	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/scenario' ./internal/experiments
+
+# spec-validate checks every committed scenario spec and failure trace
+# (examples/ plus the specs embedded in the scenario experiment) through
+# the same strict load/validate path pckpt-sim -spec uses.
+spec-validate:
+	$(GO) run ./cmd/speccheck ./examples ./internal/experiments/specs
+
 # golden-update regenerates testdata/golden after an intentional
 # behaviour change; review the diff before committing.
 golden-update:
@@ -67,27 +79,30 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -out /dev/null >/dev/null
 
-# errcheck flags discarded error returns (a bare `p.Wait(d)` statement)
-# in non-test code under internal/ — the class of bug vet misses.
+# errcheck flags discarded results (a bare `p.Wait(d)` or `s.Validate()`
+# statement) in non-test code — the class of bug vet misses.
 errcheck:
-	$(GO) run ./cmd/vet-ignored ./internal
+	$(GO) run ./cmd/vet-ignored ./internal ./cmd
 
-# ci is the full gate: formatting, vet, the ignored-result check (both
-# the interruptible sim calls and the fault-injector draws), build, the
-# FULL race-enabled test suite (no -short: the worker-determinism sweeps
-# and injection bit-identity tests must run raced — they are exactly the
-# tests that catch cross-worker nondeterminism), a dedicated race pass
-# over the tier cross-validation, the golden-table regression suite plus
-# an explicit degraded-platform golden gate, the cold-then-warm cache
+# ci is the full gate: formatting, vet, the ignored-result check (the
+# interruptible sim calls, the fault-injector draws, and bare Validate()
+# statements), build, scenario-spec validation, the FULL race-enabled
+# test suite (no -short: the worker-determinism sweeps and injection
+# bit-identity tests must run raced — they are exactly the tests that
+# catch cross-worker nondeterminism), a dedicated race pass over the
+# tier cross-validation, the golden-table regression suite plus explicit
+# degraded-platform and scenario golden gates, the cold-then-warm cache
 # pass, and a one-iteration benchmark smoke run.
 ci:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(MAKE) errcheck
 	$(GO) build ./...
+	$(MAKE) spec-validate
 	$(MAKE) race
 	$(GO) test -run TestCrossValidation -race -timeout 30m ./...
 	$(MAKE) golden
 	$(MAKE) golden-degraded
+	$(MAKE) golden-scenario
 	$(MAKE) cachepass
 	$(MAKE) bench-smoke

@@ -29,6 +29,8 @@ import (
 
 func main() {
 	var (
+		specPath  = flag.String("spec", "", "scenario spec JSON (see internal/scenario); runs its cohort × policy grid instead of the single flag-built configuration")
+		cacheDir  = flag.String("cache", "", "runcache directory for -spec mode: cells resolve from the cache when present and are flushed to it when simulated")
 		appName   = flag.String("app", "CHIMERA", "application from the Table I catalogue")
 		modelName = flag.String("model", "P2", "C/R model: B, M1, M2, P1, P2")
 		sysName   = flag.String("system", "OLCF Titan", "failure distribution from the Table III catalogue")
@@ -66,6 +68,32 @@ func main() {
 		}()
 	}
 	defer writeMemProfile(*memProfile)
+
+	if *specPath != "" {
+		// Spec mode: the spec declares everything; explicitly set flags
+		// override its numeric plan, conflicting selectors error out.
+		exitOn(runSpec(*specPath, *cacheDir, specOverrides{
+			set:        explicitFlags(),
+			model:      *modelName,
+			runs:       *runs,
+			seed:       *seed,
+			leadScale:  *leadScale,
+			fn:         *fnRate,
+			fp:         *fpRate,
+			alpha:      *alpha,
+			injBB:      *injBB,
+			injPFS:     *injPFS,
+			injCorrupt: *injCorrupt,
+			injRestart: *injRestart,
+			injCascade: *injCascade,
+			injBackoff: *injBackoff,
+			injRetries: *injRetries,
+		}))
+		return
+	}
+	if *cacheDir != "" {
+		exitOn(fmt.Errorf("pckpt-sim: -cache requires -spec (flag mode always simulates)"))
+	}
 
 	app, err := workload.ByName(*appName)
 	exitOn(err)

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pckpt/internal/crmodel"
+	"pckpt/internal/policy"
+	"pckpt/internal/runcache"
+	"pckpt/internal/scenario"
+	"pckpt/internal/stats"
+	"pckpt/internal/tablefmt"
+)
+
+// specConflicts are flags that select what the spec itself declares — the
+// cohort, the failure source, the run shape of the flag mode. Combining
+// them with -spec is ambiguous, so it is an error rather than a silent
+// precedence pick.
+var specConflicts = []string{"app", "system", "baseline", "trace", "metrics", "metrics-out"}
+
+// specOverridable documents the precedence rule for everything else: the
+// spec wins over flag *defaults*, but an explicitly set flag overrides
+// the spec's field (detected via flag.Visit, so `-runs 200` overrides
+// even when 200 is also the flag default).
+type specOverrides struct {
+	set map[string]bool
+
+	model     string
+	runs      int
+	seed      uint64
+	leadScale float64
+	fn, fp    float64
+	alpha     float64
+
+	injBB, injPFS, injCorrupt, injRestart, injCascade, injBackoff float64
+	injRetries                                                    int
+}
+
+// explicitFlags records which flags the command line actually set.
+func explicitFlags() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// applyOverrides folds explicitly set flags into the loaded spec. The
+// spec from Load is already normalized, so every block pointer is
+// non-nil except Faults — and the result is deliberately NOT
+// re-normalized: an explicit zero (`-seed 0`) must stay zero, exactly
+// as it would in flag mode, not snap back to the spec default.
+func applyOverrides(s *scenario.Spec, ov specOverrides) *scenario.Spec {
+	if ov.set["model"] {
+		s.Policies = []string{ov.model}
+	}
+	if ov.set["runs"] {
+		s.Runs = ov.runs
+	}
+	if ov.set["seed"] {
+		s.Seed = ov.seed
+	}
+	if ov.set["lead-scale"] {
+		s.Platform.LeadScale = ov.leadScale
+	}
+	if ov.set["fn"] {
+		s.Platform.FNRate = ov.fn
+	}
+	if ov.set["fp"] {
+		s.Platform.FPRate = ov.fp
+	}
+	if ov.set["alpha"] {
+		s.Platform.LMAlpha = ov.alpha
+	}
+	inject := func(name string, apply func(*scenario.FaultSpec)) {
+		if !ov.set[name] {
+			return
+		}
+		if s.Platform.Faults == nil {
+			s.Platform.Faults = &scenario.FaultSpec{}
+		}
+		apply(s.Platform.Faults)
+	}
+	inject("inject-bb", func(f *scenario.FaultSpec) { f.BBWriteFailProb = ov.injBB })
+	inject("inject-pfs", func(f *scenario.FaultSpec) { f.PFSWriteFailProb = ov.injPFS })
+	inject("inject-corrupt", func(f *scenario.FaultSpec) { f.CorruptProb = ov.injCorrupt })
+	inject("inject-restart", func(f *scenario.FaultSpec) { f.RestartFailProb = ov.injRestart })
+	inject("inject-cascade", func(f *scenario.FaultSpec) { f.CascadeProb = ov.injCascade })
+	inject("inject-retries", func(f *scenario.FaultSpec) { f.RestartRetries = ov.injRetries })
+	inject("inject-backoff", func(f *scenario.FaultSpec) { f.RestartBackoffSeconds = ov.injBackoff })
+	return s
+}
+
+// runSpec executes one scenario spec: every cohort × policy cell
+// simulates with the spec's run/seed plan (matching the flag path's seed
+// usage exactly, so a spec mirroring a flag invocation is bit-identical
+// to it), optionally resolving cells from a runcache directory first.
+func runSpec(path, cacheDir string, ov specOverrides) error {
+	for _, name := range specConflicts {
+		if ov.set[name] {
+			return fmt.Errorf("pckpt-sim: -%s conflicts with -spec: the spec declares the cohort, failure source, and output plan; override its numbers with -runs/-seed/-model/-lead-scale/-fn/-fp/-alpha/-inject-*", name)
+		}
+	}
+	s, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	s = applyOverrides(s, ov)
+	cfgs, err := s.Configs()
+	if err != nil {
+		return err
+	}
+
+	var store *runcache.Store
+	if cacheDir != "" {
+		if store, err = runcache.Open(cacheDir); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("scenario %s: %d configurations (%d runs each, seed %d)\n", s.Name, len(cfgs), s.Runs, s.Seed)
+	if s.Description != "" {
+		fmt.Println(s.Description)
+	}
+	fmt.Println()
+
+	// Baseline totals per cohort label, for the "vs B" column.
+	baseline := map[string]stats.Overheads{}
+	aggs := make([]*stats.Agg, len(cfgs))
+	for i, rc := range cfgs {
+		agg, err := runSpecCell(s, rc, store)
+		if err != nil {
+			return err
+		}
+		aggs[i] = agg
+		if rc.Policy == policy.B {
+			baseline[rc.Label] = agg.MeanOverheads()
+		}
+	}
+
+	t := tablefmt.NewTable("Config", "Model", "Ckpt", "Recomp", "Recov", "Total", "Wall", "FT", "vs B")
+	for i, rc := range cfgs {
+		agg := aggs[i]
+		mo := agg.MeanOverheads()
+		vsB := "-"
+		if base, ok := baseline[rc.Label]; ok && rc.Policy != policy.B {
+			_, _, _, tot := stats.ReductionBreakdown(base, mo)
+			vsB = tablefmt.Percent(tot)
+		}
+		t.AddRow(rc.Label, rc.Policy.String(),
+			tablefmt.Hours(mo.Checkpoint), tablefmt.Hours(mo.Recompute), tablefmt.Hours(mo.Recovery),
+			tablefmt.Hours(mo.Total()), tablefmt.Hours(agg.MeanWallSeconds()),
+			fmt.Sprintf("%.3f", agg.MeanFTRatio()), vsB)
+	}
+	fmt.Println(t.String())
+
+	if store != nil {
+		st := store.Totals()
+		fmt.Printf("cache: %d hits, %d misses\n", st.Hits, st.Misses)
+	}
+	return nil
+}
+
+// runSpecCell resolves one cell: from the cache when possible, by
+// simulation otherwise. The cell uses the spec's base seed directly for
+// every configuration — the same contract as the flag mode, where the
+// model run and its B baseline share -seed.
+func runSpecCell(s *scenario.Spec, rc scenario.RunConfig, store *runcache.Store) (*stats.Agg, error) {
+	key := runcache.Key{
+		Experiment:  "pckpt-sim",
+		Label:       s.Name + "|" + rc.Label,
+		Policy:      rc.Policy.String(),
+		Platform:    rc.Platform.CanonicalString(),
+		Runs:        s.Runs,
+		Seed:        s.Seed,
+		Fingerprint: runcache.Fingerprint(),
+	}
+	if store != nil {
+		if agg, _, ok := store.Get(key, false); ok {
+			return agg, nil
+		}
+	}
+	cfg := crmodel.Config{Model: rc.Policy, Config: rc.Platform}
+	agg := crmodel.SimulateN(cfg, s.Runs, s.Seed)
+	if store != nil {
+		if err := store.Put(key, agg, nil); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}

@@ -1,0 +1,78 @@
+// Command speccheck validates every scenario spec and failure trace under
+// the given directories — the `make spec-validate` gate that keeps
+// committed JSON (examples/, embedded experiment specs) loadable by the
+// exact code paths pckpt-sim -spec and the scenario experiment use.
+//
+// Dispatch is by strict parse: the spec and trace schemas reject each
+// other's fields, so a file is checked as whichever of the two it parses
+// as (specs first; spec files additionally resolve their trace_file
+// references relative to themselves, exactly like scenario.Load).
+//
+// Usage: speccheck <dir>...
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pckpt/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: speccheck <dir>...")
+		os.Exit(2)
+	}
+	files, bad := 0, 0
+	for _, root := range os.Args[1:] {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".json") {
+				return nil
+			}
+			files++
+			if err := checkFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "speccheck: %v\n", err)
+				bad++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "speccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "speccheck: %d of %d file(s) invalid\n", bad, files)
+		os.Exit(1)
+	}
+	fmt.Printf("speccheck: %d file(s) valid\n", files)
+}
+
+// checkFile validates one JSON file as a spec or a trace.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, specErr := scenario.Parse(data)
+	if specErr == nil {
+		// Load re-reads, resolves trace_file, normalizes, and validates —
+		// the full pckpt-sim -spec path.
+		_, err := scenario.Load(path)
+		return err
+	}
+	tr, traceErr := scenario.ParseTrace(data)
+	if traceErr != nil {
+		return fmt.Errorf("%s: neither spec (%v) nor trace (%v)", path, specErr, traceErr)
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -53,6 +53,15 @@ var injectorHooks = map[string]bool{
 	"CascadeRecovery":     true, // Injector.CascadeRecovery
 }
 
+// validators are zero-argument error-returning checks whose entire point
+// is the returned error: platform.Config.Validate, scenario.Spec.Validate,
+// scenario.Trace.Validate, failure.Replay.Validate. A bare `x.Validate()`
+// statement runs the check and throws the verdict away — an invalid spec
+// sails straight into the simulator.
+var validators = map[string]bool{
+	"Validate": true,
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: vet-ignored <dir>...")
@@ -77,7 +86,7 @@ func main() {
 		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "vet-ignored: %d ignored interruptible result(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "vet-ignored: %d ignored result(s)\n", bad)
 		os.Exit(1)
 	}
 }
@@ -109,6 +118,14 @@ func checkFile(path string) (int, error) {
 			// un-degrades the platform while still consuming the draw.
 			pos := fset.Position(call.Pos())
 			fmt.Printf("%s: result of .%s(...) ignored (an injected fault must be handled, not dropped)\n",
+				pos, name)
+			bad++
+			return true
+		}
+		if validators[name] && len(call.Args) == 0 {
+			// Zero-arg Validate() calls exist only for their error result.
+			pos := fset.Position(call.Pos())
+			fmt.Printf("%s: result of .%s() ignored (the validation verdict is the call's only output)\n",
 				pos, name)
 			bad++
 			return true

@@ -28,7 +28,7 @@ type appSim struct {
 	io     *iomodel.Model
 	env    *sim.Env
 	app    *sim.Proc
-	stream *failure.Stream
+	stream failure.EventSource
 	est    *failure.RateEstimator
 	cl     *cluster.Cluster
 	// inj is the degraded-platform fault plan (nil = perfect platform;
@@ -98,7 +98,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	if cfg.Metrics != nil {
 		a.observeCluster()
 	}
-	a.stream = failure.NewStream(cfg.StreamConfig(cfg.Metrics), src.Split(1))
+	a.stream = failure.NewSource(cfg.StreamConfig(cfg.Metrics), src.Split(1))
 	// The fault plan draws from its own named substream: with every rate
 	// at zero it consumes no draws, so the run is bit-identical to one
 	// with injection disabled.

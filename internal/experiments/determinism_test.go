@@ -25,6 +25,9 @@ func TestWorkersDeterminism(t *testing.T) {
 		{"fig4", Params{Runs: 30, Seed: 42, Apps: []string{"XGC"}}},
 		{"crossval", Params{Runs: 48, Seed: 42}},
 		{"degraded", Params{Runs: 30, Seed: 42, Apps: []string{"XGC"}}},
+		// scenario includes the trace-replay spec: a replayed failure
+		// stream must be bit-identical across worker counts too.
+		{"scenario", Params{Runs: 20, Seed: 42}},
 	}
 	for _, tc := range cases {
 		tc := tc

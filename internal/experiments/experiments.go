@@ -125,6 +125,7 @@ func All() []Def {
 		{"analytic", "Observation 8: analytical LM vs p-ckpt model (Eqs. 4-8)", Analytic},
 		{"crossval", "Cross-validation: app-level vs node-granular tier on matched seeds", CrossValidation},
 		{"degraded", "Extension: degraded platform — injected write failures, corruption, restart retries", Degraded},
+		{"scenario", "Extension: declarative scenario specs — cohorts, platforms, failure-trace replay", Scenario},
 	}
 }
 

@@ -1,0 +1,194 @@
+package failure
+
+import (
+	"math"
+	"testing"
+)
+
+func testReplay() *Replay {
+	return &Replay{
+		Name:           "unit",
+		Nodes:          8,
+		HorizonSeconds: 1000,
+		Events: []ReplayEvent{
+			{T: 100, Node: 3, Lead: 40, Seq: 1},
+			{T: 250, Node: 7, Lead: 30, Seq: 2, Spurious: true},
+			{T: 400, Node: 5},
+			{T: 990, Node: 1, Lead: 25, Seq: 1},
+		},
+	}
+}
+
+func TestReplayValidate(t *testing.T) {
+	if err := testReplay().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	cases := map[string]func(*Replay){
+		"nil-events":    func(r *Replay) { r.Events = nil },
+		"zero-nodes":    func(r *Replay) { r.Nodes = 0 },
+		"zero-horizon":  func(r *Replay) { r.HorizonSeconds = 0 },
+		"nan-horizon":   func(r *Replay) { r.HorizonSeconds = math.NaN() },
+		"inf-horizon":   func(r *Replay) { r.HorizonSeconds = math.Inf(1) },
+		"t-negative":    func(r *Replay) { r.Events[0].T = -1 },
+		"t-nan":         func(r *Replay) { r.Events[0].T = math.NaN() },
+		"t-past-end":    func(r *Replay) { r.Events[3].T = 1001 },
+		"out-of-order":  func(r *Replay) { r.Events[0].T = 500 },
+		"node-negative": func(r *Replay) { r.Events[2].Node = -1 },
+		"node-beyond":   func(r *Replay) { r.Events[2].Node = 8 },
+		"lead-negative": func(r *Replay) { r.Events[0].Lead = -1 },
+		"lead-nan":      func(r *Replay) { r.Events[0].Lead = math.NaN() },
+		"lead-inf":      func(r *Replay) { r.Events[0].Lead = math.Inf(1) },
+		"lead-before-0": func(r *Replay) { r.Events[0].Lead = 200 },
+		"seq-negative":  func(r *Replay) { r.Events[0].Seq = -1 },
+		"spurious-only": func(r *Replay) {
+			for i := range r.Events {
+				r.Events[i].Spurious = true
+			}
+		},
+	}
+	for name, mutate := range cases {
+		r := testReplay()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: invalid trace accepted", name)
+		}
+	}
+	var nilTrace *Replay
+	if err := nilTrace.Validate(); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+// The stream must emit strictly time-ordered events, cycle after cycle,
+// expanding each predicted failure into a linked prediction/failure pair
+// exactly like the parametric stream.
+func TestReplayStreamCycles(t *testing.T) {
+	re := testReplay()
+	s := NewReplayStream(re, re.Nodes, nil)
+	perCycle := 6 // 2 pred/fail pairs + 1 unpredicted failure + 1 spurious
+	var evs []Event
+	for i := 0; i < 3*perCycle; i++ {
+		evs = append(evs, s.Next())
+	}
+	last := math.Inf(-1)
+	preds := map[int64]Event{}
+	failures := 0
+	for _, ev := range evs {
+		if ev.Time < last {
+			t.Fatalf("out of order: %v after %v", ev.Time, last)
+		}
+		last = ev.Time
+		switch ev.Kind {
+		case KindPrediction:
+			preds[ev.ID] = ev
+		case KindFailure:
+			failures++
+			if ev.Lead > 0 {
+				p, ok := preds[ev.ID]
+				if !ok {
+					t.Fatalf("failure %d announced (lead %v) but no prediction preceded it", ev.ID, ev.Lead)
+				}
+				if p.FailTime != ev.Time || p.Time != ev.Time-ev.Lead {
+					t.Fatalf("pair mismatch: pred %+v vs fail %+v", p, ev)
+				}
+			}
+		}
+	}
+	if failures != 9 {
+		t.Fatalf("got %d failures over 3 cycles, want 9", failures)
+	}
+	// Cycle 2 must be cycle 1 shifted by exactly one horizon.
+	for i := 0; i < perCycle; i++ {
+		a, b := evs[i], evs[i+perCycle]
+		if a.Kind != b.Kind || a.Node != b.Node || a.Lead != b.Lead ||
+			b.Time != a.Time+re.HorizonSeconds {
+			t.Fatalf("cycle drift at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// A trace recorded over a wider node span than the job folds onto the
+// job's nodes.
+func TestReplayStreamNodeFold(t *testing.T) {
+	re := testReplay()
+	s := NewReplayStream(re, 2, nil)
+	for i := 0; i < 10; i++ {
+		if ev := s.Next(); ev.Node < 0 || ev.Node >= 2 {
+			t.Fatalf("node %d outside the 2-node job", ev.Node)
+		}
+	}
+}
+
+// Replayed leads are capped like parametric ones.
+func TestReplayStreamLeadCap(t *testing.T) {
+	re := &Replay{
+		Name: "cap", Nodes: 1, HorizonSeconds: 100000,
+		Events: []ReplayEvent{{T: 90000, Node: 0, Lead: 80000, Seq: 1}},
+	}
+	s := NewReplayStream(re, 1, nil)
+	if ev := s.Next(); ev.Kind != KindPrediction || ev.Lead != LeadCap {
+		t.Fatalf("lead not capped: %+v", ev)
+	}
+}
+
+func TestSyntheticSystem(t *testing.T) {
+	re := testReplay()
+	sys := re.SyntheticSystem(64)
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("synthetic system invalid: %v", err)
+	}
+	// Empirical rate: 3 failures per 1000 s.
+	if got, want := sys.JobFailureRate(64), 3.0/1000; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("job rate %v, want %v", got, want)
+	}
+}
+
+func TestReplayLeadModel(t *testing.T) {
+	lm := testReplay().LeadModel()
+	if lm == nil {
+		t.Fatal("no lead model from a trace with predicted failures")
+	}
+	seqs := lm.Sequences()
+	if len(seqs) != 1 || seqs[0].ID != 1 || seqs[0].Weight != 2 {
+		t.Fatalf("unexpected sequences: %+v", seqs)
+	}
+	if got, want := seqs[0].MeanLeadSec, (40.0+25.0)/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean lead %v, want %v", got, want)
+	}
+	unpredicted := &Replay{Name: "u", Nodes: 1, HorizonSeconds: 10, Events: []ReplayEvent{{T: 5, Node: 0}}}
+	if unpredicted.LeadModel() != nil {
+		t.Fatal("lead model from a trace with no predicted failures")
+	}
+}
+
+func TestReplayDigest(t *testing.T) {
+	a, b := testReplay(), testReplay()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical traces digest differently")
+	}
+	b.Events[0].Lead++
+	if a.Digest() == b.Digest() {
+		t.Fatal("perturbed trace digests identically")
+	}
+}
+
+// NewSource must dispatch on the replay field, and the replay path must
+// consume no RNG draws at all: two sources over different seeds are
+// bit-identical.
+func TestNewSourceDispatch(t *testing.T) {
+	re := testReplay()
+	cfg := Config{System: re.SyntheticSystem(8), JobNodes: 8, Replay: re}
+	s1 := NewSource(cfg, nil)
+	s2 := NewSource(cfg, nil)
+	for i := 0; i < 20; i++ {
+		if e1, e2 := s1.Next(), s2.Next(); e1 != e2 {
+			t.Fatalf("replay sources diverge at %d: %+v vs %+v", i, e1, e2)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStream accepted a replay configuration")
+		}
+	}()
+	NewStream(cfg, nil)
+}

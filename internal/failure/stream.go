@@ -67,6 +67,15 @@ type Event struct {
 // in time order with bounded lookahead.
 const LeadCap = 7200
 
+// EventSource is the failure-stream interface both simulation tiers
+// consume: an infinite, time-ordered sequence of failure / prediction /
+// spurious-prediction events. The parametric Stream and the
+// trace-replaying ReplayStream both implement it, so a tier written
+// against EventSource simulates either failure source unchanged.
+type EventSource interface {
+	Next() Event
+}
+
 // Config parameterises a failure stream.
 type Config struct {
 	// System supplies the Weibull inter-arrival distribution (Table III).
@@ -92,6 +101,11 @@ type Config struct {
 	// actually handed to the simulator plus true/false positive and
 	// false negative counts (see internal/metrics). Nil costs nothing.
 	Metrics *metrics.Registry
+	// Replay, when non-nil, replaces the parametric Weibull source with
+	// a recorded failure trace: NewSource returns a ReplayStream over it
+	// and every other stochastic knob of this Config is ignored (the
+	// trace fixes times, nodes, and leads). See Replay.
+	Replay *Replay
 }
 
 // withDefaults fills zero fields.
@@ -106,9 +120,16 @@ func (c Config) withDefaults() Config {
 }
 
 // Validate reports a configuration error, or nil. FNRate of exactly zero
-// is valid (a perfect-recall predictor).
+// is valid (a perfect-recall predictor). In replay mode only the job
+// size and the trace itself matter — the parametric knobs are unused.
 func (c Config) Validate() error {
 	c = c.withDefaults()
+	if c.Replay != nil {
+		if c.JobNodes <= 0 {
+			return fmt.Errorf("failure: non-positive job size")
+		}
+		return c.Replay.Validate()
+	}
 	if err := c.System.Validate(); err != nil {
 		return err
 	}
@@ -123,6 +144,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("failure: FP rate %g outside [0, 1)", c.FPRate)
 	}
 	return nil
+}
+
+// NewSource builds the event source this configuration describes: a
+// ReplayStream when a recorded trace is configured, the parametric
+// Stream otherwise. Panics on invalid configuration, like NewStream.
+func NewSource(cfg Config, src *rng.Source) EventSource {
+	if cfg.Replay != nil {
+		if err := cfg.Validate(); err != nil {
+			panic(err)
+		}
+		return NewReplayStream(cfg.Replay, cfg.JobNodes, cfg.Metrics)
+	}
+	return NewStream(cfg, src)
 }
 
 // DefaultFNRate is the baseline false-negative rate of the predictor.
@@ -145,17 +179,53 @@ type Stream struct {
 	jobScale  float64 // Weibull scale for job inter-arrivals, seconds
 	nextID    int64
 	emittedTo float64
-
-	// Metrics handles (nil when metering is off; see internal/metrics).
-	mLeadDelivered *metrics.Histogram
-	mPredictions   *metrics.Counter
-	mSpurious      *metrics.Counter
-	mUnpredicted   *metrics.Counter
-	mFailures      *metrics.Counter
+	met       streamMeters
 }
 
-// NewStream builds a stream. It panics on invalid configuration.
+// streamMeters is the delivered-event accounting shared by every
+// EventSource implementation (nil-registry handles cost nothing).
+type streamMeters struct {
+	leadDelivered *metrics.Histogram
+	predictions   *metrics.Counter
+	spurious      *metrics.Counter
+	unpredicted   *metrics.Counter
+	failures      *metrics.Counter
+}
+
+func newStreamMeters(reg *metrics.Registry) streamMeters {
+	return streamMeters{
+		leadDelivered: reg.Histogram("failure.lead_delivered_seconds"),
+		predictions:   reg.Counter("failure.true_predictions"),
+		spurious:      reg.Counter("failure.false_positives"),
+		unpredicted:   reg.Counter("failure.false_negatives"),
+		failures:      reg.Counter("failure.failures"),
+	}
+}
+
+// account records one delivered event: what reaches the consumer is what
+// the simulator actually experienced.
+func (m *streamMeters) account(ev Event) {
+	switch ev.Kind {
+	case KindPrediction:
+		m.predictions.Inc()
+		m.leadDelivered.Observe(ev.Lead)
+	case KindSpurious:
+		m.spurious.Inc()
+	case KindFailure:
+		m.failures.Inc()
+		if ev.Lead == 0 {
+			m.unpredicted.Inc()
+		}
+	}
+}
+
+// NewStream builds a parametric stream. It panics on invalid
+// configuration, and on a replay configuration — NewSource dispatches
+// between the two source kinds.
 func NewStream(cfg Config, src *rng.Source) *Stream {
+	if cfg.Replay != nil {
+		panic("failure: NewStream on a replay configuration (use NewSource)")
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -169,12 +239,7 @@ func NewStream(cfg Config, src *rng.Source) *Stream {
 		leads:    leads,
 		src:      src,
 		jobScale: cfg.System.JobScaleSeconds(cfg.JobNodes),
-
-		mLeadDelivered: cfg.Metrics.Histogram("failure.lead_delivered_seconds"),
-		mPredictions:   cfg.Metrics.Counter("failure.true_predictions"),
-		mSpurious:      cfg.Metrics.Counter("failure.false_positives"),
-		mUnpredicted:   cfg.Metrics.Counter("failure.false_negatives"),
-		mFailures:      cfg.Metrics.Counter("failure.failures"),
+		met:      newStreamMeters(cfg.Metrics),
 	}
 	// Spurious predictions arrive so that FPRate of all predictions are
 	// false: rate_fp = rate_true_pred × FP/(1−FP).
@@ -258,20 +323,7 @@ func (s *Stream) Next() Event {
 		panic(fmt.Sprintf("failure: stream emitted out of order (%g after %g)", ev.Time, s.emittedTo))
 	}
 	s.emittedTo = ev.Time
-	// Account delivered events, not generated ones: what reaches the
-	// consumer is what the simulator actually experienced.
-	switch ev.Kind {
-	case KindPrediction:
-		s.mPredictions.Inc()
-		s.mLeadDelivered.Observe(ev.Lead)
-	case KindSpurious:
-		s.mSpurious.Inc()
-	case KindFailure:
-		s.mFailures.Inc()
-		if ev.Lead == 0 {
-			s.mUnpredicted.Inc()
-		}
-	}
+	s.met.account(ev)
 	return ev
 }
 

@@ -240,7 +240,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 
 	c.met = newNodeMetrics(cfg.Metrics, cfg.Policy)
 	src := rng.New(seed)
-	stream := failure.NewStream(cfg.StreamConfig(cfg.Metrics), src.Split(1))
+	stream := failure.NewSource(cfg.StreamConfig(cfg.Metrics), src.Split(1))
 	// The fault plan draws from its own named substream (key 2; the
 	// failure stream owns key 1): rate-0 injection consumes no draws and
 	// is bit-identical to injection disabled.
@@ -752,7 +752,7 @@ func (c *cluster) bankCompute() {
 }
 
 // inject delivers the failure stream to the coordinator.
-func (c *cluster) inject(p *sim.Proc, stream *failure.Stream) {
+func (c *cluster) inject(p *sim.Proc, stream failure.EventSource) {
 	for {
 		ev := stream.Next()
 		if !c.coord.Alive() {

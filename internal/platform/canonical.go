@@ -20,7 +20,7 @@ func (c Config) CanonicalString() string {
 	c = c.WithDefaults()
 	var b strings.Builder
 	io := c.IO.Config()
-	b.WriteString("platform/v2\n")
+	b.WriteString("platform/v3\n")
 	fmt.Fprintf(&b, "app=%s|%d|%s|%s\n", c.App.Name, c.App.Nodes, cf(c.App.TotalCkptGB), cf(c.App.ComputeHours))
 	fmt.Fprintf(&b, "system=%s|%s|%s|%d\n", c.System.Name, cf(c.System.Shape), cf(c.System.ScaleHours), c.System.Nodes)
 	fmt.Fprintf(&b, "io=%s|%s|%s|%s|%s|%d|%d|%s|%s|%s|%d\n",
@@ -44,6 +44,15 @@ func (c Config) CanonicalString() string {
 		cf(c.Faults.BBWriteFailProb), cf(c.Faults.PFSWriteFailProb), cf(c.Faults.CorruptProb),
 		cf(c.Faults.RestartFailProb), c.Faults.RestartRetries, cf(c.Faults.RestartBackoffSeconds),
 		cf(c.Faults.CascadeProb))
+	// A replayed trace is identified by its content digest: a replay run
+	// can never collide with a parametric run, nor with a replay of any
+	// other trace (the system/leads lines above alone would not
+	// guarantee that — an explicit System override makes them equal).
+	if c.Replay == nil {
+		b.WriteString("replay=none\n")
+	} else {
+		fmt.Fprintf(&b, "replay=%s\n", c.Replay.Digest())
+	}
 	return b.String()
 }
 

@@ -58,6 +58,12 @@ func TestCanonicalStringSensitivity(t *testing.T) {
 		"faults": func(c *Config) {
 			c.Faults = faultinject.Config{PFSWriteFailProb: 0.05}
 		},
+		"replay": func(c *Config) {
+			c.Replay = &failure.Replay{
+				Name: "t", Nodes: 1, HorizonSeconds: 10,
+				Events: []failure.ReplayEvent{{T: 5}},
+			}
+		},
 	}
 	for name, mutate := range mutations {
 		c := testConfig()
@@ -72,7 +78,7 @@ func TestCanonicalStringSensitivity(t *testing.T) {
 func TestCanonicalStringVersionedAndStable(t *testing.T) {
 	c := testConfig()
 	s := c.CanonicalString()
-	if !strings.HasPrefix(s, "platform/v2\n") {
+	if !strings.HasPrefix(s, "platform/v3\n") {
 		t.Fatalf("missing version header: %q", s[:min(len(s), 40)])
 	}
 	if s != c.CanonicalString() {

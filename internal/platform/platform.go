@@ -57,6 +57,14 @@ type Config struct {
 	// failures, silent corruption, restart retries, recovery cascades).
 	// The zero value is a perfect platform. See internal/faultinject.
 	Faults faultinject.Config
+	// Replay, when non-nil, replaces the parametric Weibull failure
+	// source with a recorded failure trace (mined by internal/deshlog,
+	// declared by an internal/scenario spec): both simulation tiers then
+	// consume the trace through the same failure-stream interface. When
+	// System is left zero it defaults to the trace's empirical rate, and
+	// when Leads is left nil it defaults to the trace's mined lead-time
+	// mixture, so σ, θ, and the OCI all track the replayed reality.
+	Replay *failure.Replay
 }
 
 // WithDefaults returns a copy with zero fields defaulted. Idempotent.
@@ -66,6 +74,17 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.LM == (lm.Config{}) {
 		c.LM = lm.Default()
+	}
+	if c.Replay != nil && c.Replay.Validate() == nil {
+		// Trace replay: the empirical trace, not a Table III row, is the
+		// platform's failure reality — default the rate prior and the
+		// lead-time mixture from it.
+		if c.System == (failure.System{}) && c.App.Nodes > 0 {
+			c.System = c.Replay.SyntheticSystem(c.App.Nodes)
+		}
+		if c.Leads == nil {
+			c.Leads = c.Replay.LeadModel()
+		}
 	}
 	if c.Leads == nil {
 		c.Leads = failure.DefaultLeadTimes()
@@ -116,6 +135,11 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	if c.Replay != nil {
+		if err := c.Replay.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -161,6 +185,7 @@ func (c Config) StreamConfig(reg *metrics.Registry) failure.Config {
 		FNRate:    c.FNRate,
 		FPRate:    c.FPRate,
 		Metrics:   reg,
+		Replay:    c.Replay,
 	}
 }
 

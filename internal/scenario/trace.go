@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pckpt/internal/failure"
+)
+
+// TraceEvent is one recorded failure-trace entry in interchange form; the
+// fields mirror failure.ReplayEvent one-to-one.
+type TraceEvent struct {
+	// T is seconds since the trace window's start.
+	T float64 `json:"t"`
+	// Node is the trace-local node index.
+	Node int `json:"node"`
+	// Lead is the prediction lead time in seconds (0 = unpredicted).
+	Lead float64 `json:"lead,omitempty"`
+	// Seq is the mined failure-sequence ID (0 = unknown).
+	Seq int `json:"seq,omitempty"`
+	// Spurious marks a false-positive prediction with no failure behind it.
+	Spurious bool `json:"spurious,omitempty"`
+}
+
+// Trace is the JSON interchange form of a failure trace: what
+// internal/deshlog exports from mined log chains and what a scenario spec
+// replays (inline, or referenced through "trace_file"). It is a versioned
+// rendering of failure.Replay — the runtime type both simulation tiers
+// consume through the failure-stream interface.
+type Trace struct {
+	// Version is the trace format version; 1 is the only version.
+	Version int `json:"version"`
+	// Name labels the trace (provenance; participates in cache keys).
+	Name string `json:"name"`
+	// Nodes is the node span the trace was recorded over.
+	Nodes int `json:"nodes"`
+	// HorizonSeconds is the trace window length; replay wraps modulo it.
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	// Events is the recorded sequence, ordered by T.
+	Events []TraceEvent `json:"events"`
+}
+
+// ToReplay converts the trace to its runtime replay form. Purely
+// structural: call Validate (or failure.Replay.Validate) to check it.
+func (t *Trace) ToReplay() *failure.Replay {
+	if t == nil {
+		return nil
+	}
+	re := &failure.Replay{
+		Name:           t.Name,
+		Nodes:          t.Nodes,
+		HorizonSeconds: t.HorizonSeconds,
+		Events:         make([]failure.ReplayEvent, len(t.Events)),
+	}
+	for i, ev := range t.Events {
+		re.Events[i] = failure.ReplayEvent{T: ev.T, Node: ev.Node, Lead: ev.Lead, Seq: ev.Seq, Spurious: ev.Spurious}
+	}
+	return re
+}
+
+// TraceFromReplay converts a runtime replay back to interchange form —
+// the inverse of ToReplay, used by exporters.
+func TraceFromReplay(re *failure.Replay) *Trace {
+	if re == nil {
+		return nil
+	}
+	t := &Trace{
+		Version:        1,
+		Name:           re.Name,
+		Nodes:          re.Nodes,
+		HorizonSeconds: re.HorizonSeconds,
+		Events:         make([]TraceEvent, len(re.Events)),
+	}
+	for i, ev := range re.Events {
+		t.Events[i] = TraceEvent{T: ev.T, Node: ev.Node, Lead: ev.Lead, Seq: ev.Seq, Spurious: ev.Spurious}
+	}
+	return t
+}
+
+// Validate reports a malformed trace, or nil. Field semantics are checked
+// by the runtime type's validator, so a trace is valid exactly when its
+// replay is.
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("scenario: nil trace")
+	}
+	if t.Version != 1 {
+		return fmt.Errorf("scenario: unsupported trace version %d (want 1)", t.Version)
+	}
+	return t.ToReplay().Validate()
+}
+
+// Render returns the canonical JSON rendering of a valid trace — what
+// exporters write and what a spec's trace_file references.
+func (t *Trace) Render() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseTrace strictly decodes one JSON trace: unknown fields and trailing
+// data are errors. The result is not yet validated.
+func ParseTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := strictDecode(data, &t); err != nil {
+		return nil, fmt.Errorf("scenario: trace: %w", err)
+	}
+	return &t, nil
+}
+
+// LoadTrace reads and strictly parses a trace file.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	t, err := ParseTrace(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// strictDecode unmarshals JSON rejecting unknown fields and trailing
+// content — a typo in a spec must fail loudly, never silently default.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
