@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-update spec-validate cachepass bench bench-smoke ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-update spec-validate cachepass bench bench-step bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-# crossval races the tier cross-validation: both simulation granularities
-# on matched platform configs and seeds, under the race detector.
+# crossval races the tier cross-validation: all three simulation tiers
+# (app-level reference, node-granular, step-based tier-0) on matched
+# platform configs and seeds, under the race detector. The pattern also
+# picks up TestCrossValidationStepBitIdentity in internal/stepsim — the
+# full B/M1/M2 × platform × seed bit-identity matrix against crmodel.
 crossval:
 	$(GO) test -run TestCrossValidation -race ./...
 
@@ -53,7 +56,7 @@ spec-validate:
 # golden-update regenerates testdata/golden after an intentional
 # behaviour change; review the diff before committing.
 golden-update:
-	$(GO) test -count=1 -run TestGolden -update ./internal/experiments
+	$(GO) test ./internal/experiments -count=1 -run TestGolden -update
 
 # cachepass runs the cross-process cold-then-warm result-cache check:
 # the same test twice against one shared cache directory — the first
@@ -66,16 +69,24 @@ cachepass:
 	rc=$$?; rm -rf $$dir; exit $$rc
 
 # bench runs the full benchmark suite (paper tables/figures plus the
-# sim/queue/nodesim substrate micro-benchmarks) and writes the parsed
-# results as a machine-readable artefact; see EXPERIMENTS.md for the
-# schema and how to compare against the committed baseline.
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_LABEL ?= PR4
+# sim/queue/nodesim/stepsim substrate micro-benchmarks) and writes the
+# parsed results as a machine-readable artefact; see EXPERIMENTS.md for
+# the schema and how to compare against the committed baseline.
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_LABEL ?= PR7
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
-# bench-smoke runs one iteration of every benchmark through the same
-# parser, so neither the benchmarks nor the harness can rot unnoticed.
+# bench-step runs just the tier-0 headroom comparison: the step engine's
+# hot-path/interrupt micro-benches next to the process engine's
+# equivalents (the events/sec ratio is the committed BENCH_PR7 claim).
+bench-step:
+	$(GO) test -bench 'StepHotPath|StepInterrupt' -run=^$$ ./internal/stepsim
+	$(GO) test -bench 'WaitHotPath|InterruptHeavy' -run=^$$ ./internal/sim
+
+# bench-smoke runs one iteration of every benchmark (the stepsim
+# micro-benches included) through the same parser, so neither the
+# benchmarks nor the harness can rot unnoticed.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -out /dev/null >/dev/null
 
@@ -90,7 +101,8 @@ errcheck:
 # test suite (no -short: the worker-determinism sweeps and injection
 # bit-identity tests must run raced — they are exactly the tests that
 # catch cross-worker nondeterminism), a dedicated race pass over the
-# tier cross-validation, the golden-table regression suite plus explicit
+# tier cross-validation (all three tiers, including the step tier's
+# bit-identity matrix), the golden-table regression suite plus explicit
 # degraded-platform and scenario golden gates, the cold-then-warm cache
 # pass, and a one-iteration benchmark smoke run.
 ci:

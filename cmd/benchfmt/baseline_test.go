@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestPR7StepRateHeadroom holds the committed tier-0 baseline to the
+// step engine's headline claim: the step engine's hot path must process
+// at least 10× the events/sec of the process engine's equivalent
+// micro-bench (in practice the ratio is ~40-50×; 10× is the floor the
+// claim is committed at). The artefact is regenerated with `make bench`
+// on an intentional perf change.
+func TestPR7StepRateHeadroom(t *testing.T) {
+	f, err := load("../../BENCH_PR7.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	if f.Schema != schema {
+		t.Fatalf("baseline schema %q, want %q", f.Schema, schema)
+	}
+	rate := func(pkg, name string) float64 {
+		for _, b := range f.Benchs {
+			if b.Pkg == pkg && b.Name == name {
+				if v, ok := b.Metrics["events/sec"]; ok {
+					return v
+				}
+				t.Fatalf("%s.%s has no events/sec metric", pkg, name)
+			}
+		}
+		t.Fatalf("%s.%s not in baseline", pkg, name)
+		return 0
+	}
+	step := rate("pckpt/internal/stepsim", "BenchmarkStepHotPath")
+	proc := rate("pckpt/internal/sim", "BenchmarkWaitHotPath")
+	if ratio := step / proc; ratio < 10 {
+		t.Errorf("step-engine headroom %.1f× (%.0f vs %.0f events/sec), want >= 10×", ratio, step, proc)
+	}
+}

@@ -50,6 +50,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "base RNG seed")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		apps       = flag.String("apps", "", "comma-separated application filter (default: experiment-specific)")
+		tiers      = flag.String("tiers", "", "comma-separated tier filter for cross-validating experiments: "+strings.Join(experiments.TierNames(), ", ")+" (default: all registered tiers)")
 		values     = flag.Bool("values", false, "also print machine-readable headline values")
 		meter      = flag.Bool("metrics", false, "meter simulation runs and print the merged metrics summary")
 		metricsOut = flag.String("metrics-out", "pckpt-metrics.json", "metrics snapshot JSON path (with -metrics)")
@@ -100,6 +101,15 @@ func main() {
 	exitOn(p.Faults.Validate())
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")
+	}
+	if *tiers != "" {
+		for _, name := range strings.Split(*tiers, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := experiments.TierByName(name); !ok {
+				exitOn(fmt.Errorf("experiments: unknown tier %q (have %s)", name, strings.Join(experiments.TierNames(), ", ")))
+			}
+			p.Tiers = append(p.Tiers, name)
+		}
 	}
 	if *meter {
 		p.Metrics = metrics.NewCollector()

@@ -6,6 +6,7 @@
 //
 //	pckpt-sim -app CHIMERA -model P2 -runs 500
 //	pckpt-sim -app XGC -model M2 -system "LANL System 18" -lead-scale 0.5
+//	pckpt-sim -app CHIMERA -model M2 -tier step
 package main
 
 import (
@@ -14,14 +15,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"pckpt/internal/crmodel"
+	"pckpt/internal/experiments"
 	"pckpt/internal/failure"
 	"pckpt/internal/faultinject"
 	"pckpt/internal/lm"
 	"pckpt/internal/metrics"
 	"pckpt/internal/platform"
 	"pckpt/internal/stats"
+	"pckpt/internal/stepsim"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/trace"
 	"pckpt/internal/workload"
@@ -33,6 +37,7 @@ func main() {
 		cacheDir  = flag.String("cache", "", "runcache directory for -spec mode: cells resolve from the cache when present and are flushed to it when simulated")
 		appName   = flag.String("app", "CHIMERA", "application from the Table I catalogue")
 		modelName = flag.String("model", "P2", "C/R model: B, M1, M2, P1, P2")
+		tierName  = flag.String("tier", "app", "simulation tier: "+strings.Join(experiments.TierNames(), ", ")+" (each implements a catalogue subset; see DESIGN.md)")
 		sysName   = flag.String("system", "OLCF Titan", "failure distribution from the Table III catalogue")
 		runs      = flag.Int("runs", 200, "simulation runs to average")
 		seed      = flag.Uint64("seed", 42, "base RNG seed")
@@ -101,6 +106,16 @@ func main() {
 	exitOn(err)
 	sys, err := failure.SystemByName(*sysName)
 	exitOn(err)
+	tier, ok := experiments.TierByName(*tierName)
+	if !ok {
+		exitOn(fmt.Errorf("pckpt-sim: unknown tier %q (have %s)", *tierName, strings.Join(experiments.TierNames(), ", ")))
+	}
+	if !tier.Supports(model) {
+		exitOn(fmt.Errorf("pckpt-sim: the %s tier does not implement model %s", tier.Name, model))
+	}
+	if *meter && tier.Name != "app" {
+		exitOn(fmt.Errorf("pckpt-sim: -metrics is app-tier only (the tier runner is unmetered); drop -tier"))
+	}
 
 	cfg := crmodel.Config{
 		Model: model,
@@ -124,7 +139,7 @@ func main() {
 	}
 	exitOn(cfg.Validate())
 
-	fmt.Printf("%s on %s under %s (%d runs, seed %d)\n", model, app, sys.Name, *runs, *seed)
+	fmt.Printf("%s on %s under %s (%s tier, %d runs, seed %d)\n", model, app, sys.Name, tier.Name, *runs, *seed)
 	fmt.Printf("θ = %.2f s, σ = %.3f, per-node checkpoint = %.2f GB\n\n", cfg.Theta(), cfg.Sigma(), app.PerNodeGB())
 
 	var snap *metrics.Snapshot
@@ -132,15 +147,25 @@ func main() {
 	if *meter {
 		agg, snap = crmodel.SimulateNMetered(cfg, *runs, *seed, runtime.GOMAXPROCS(0))
 	} else {
-		agg = crmodel.SimulateN(cfg, *runs, *seed)
+		// All tiers route through the shared tier runner: identical seed
+		// sequences, so switching -tier changes the engine, not the
+		// experiment (and for -tier step, not even the bits).
+		agg = experiments.SimulateTierN(tier, model, cfg.Config, *runs, *seed, runtime.GOMAXPROCS(0))
 	}
 	mo := agg.MeanOverheads()
 
 	if *showTrace {
 		var buf trace.Buffer
-		tcfg := cfg
-		tcfg.Trace = &buf
-		crmodel.Simulate(tcfg, *seed)
+		switch tier.Name {
+		case "app":
+			tcfg := cfg
+			tcfg.Trace = &buf
+			crmodel.Simulate(tcfg, *seed)
+		case "step":
+			stepsim.Simulate(stepsim.Config{Model: model, Config: cfg.Config, Trace: &buf}, *seed)
+		default:
+			exitOn(fmt.Errorf("pckpt-sim: -trace supports the app and step tiers, not %s", tier.Name))
+		}
 		fmt.Println("single-run timeline (seed", *seed, "):")
 		fmt.Println(buf.Gantt(100))
 		fmt.Println()
@@ -170,9 +195,9 @@ func main() {
 	}
 
 	if *baseline && model != crmodel.ModelB {
-		bcfg := cfg
-		bcfg.Model = crmodel.ModelB
-		base := crmodel.SimulateN(bcfg, *runs, *seed).MeanOverheads()
+		// Every tier implements model B, so the reduction is computed
+		// within the selected tier.
+		base := experiments.SimulateTierN(tier, crmodel.ModelB, cfg.Config, *runs, *seed, runtime.GOMAXPROCS(0)).MeanOverheads()
 		ck, rc, rv, tot := stats.ReductionBreakdown(base, mo)
 		fmt.Printf("vs base model B: checkpoint %s, recomputation %s, recovery %s, TOTAL %s\n",
 			tablefmt.Percent(ck), tablefmt.Percent(rc), tablefmt.Percent(rv), tablefmt.Percent(tot))

@@ -62,6 +62,14 @@ var validators = map[string]bool{
 	"Validate": true,
 }
 
+// stepDrivers are the step engine's zero-argument driver primitives whose
+// boolean result reports whether an event was actually processed. A bare
+// `e.ProcessNextEvent()` in a driver loop discards the "engine drained"
+// signal — the loop spins forever on an empty heap.
+var stepDrivers = map[string]bool{
+	"ProcessNextEvent": true, // stepsim.Engine.ProcessNextEvent
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: vet-ignored <dir>...")
@@ -126,6 +134,13 @@ func checkFile(path string) (int, error) {
 			// Zero-arg Validate() calls exist only for their error result.
 			pos := fset.Position(call.Pos())
 			fmt.Printf("%s: result of .%s() ignored (the validation verdict is the call's only output)\n",
+				pos, name)
+			bad++
+			return true
+		}
+		if stepDrivers[name] && len(call.Args) == 0 {
+			pos := fset.Position(call.Pos())
+			fmt.Printf("%s: result of .%s() ignored (a discarded false spins a driver loop on a drained engine)\n",
 				pos, name)
 			bad++
 			return true

@@ -6,17 +6,25 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
+	"pckpt/internal/stats"
 	"pckpt/internal/tablefmt"
 	"pckpt/internal/workload"
 )
 
-// CrossValidation runs every catalogue entry the node-granular tier
-// implements through BOTH simulation tiers on a matched platform
-// configuration and identical seed sequences, and reports how closely
-// the tiers agree — the repo's standing check that the node-granular
-// simulator tells the same story as the paper-style application-level
-// model. Event counts (failures, predicted) must agree exactly; wall
-// time and overhead accounting within a few percent.
+// CrossValidation runs every catalogue entry through the app-level
+// reference tier and every other registered tier that implements it, on
+// a matched platform configuration and identical seed sequences, and
+// reports how closely the tiers agree — the repo's standing check that
+// each granularity tells the same story as the paper-style
+// application-level model. Event counts (failures, predicted) must
+// agree exactly on every tier; wall time and overhead accounting within
+// a few percent for the node tier; and the step tier must be
+// bit-identical (the exact-mismatch cell counts seeds whose full
+// RunResult differs from the reference — it must be zero).
+//
+// Values keys are tier-qualified: "<model>/<tier>/failures-diff",
+// "/mitigated-diff", "/avoided-diff", "/wall-divergence", and for the
+// step tier "/exact-mismatch".
 func CrossValidation(p Params) Result {
 	p = p.withDefaults()
 	// A small busy configuration: big enough to exercise episodes,
@@ -32,44 +40,65 @@ func CrossValidation(p Params) Result {
 
 	t := tablefmt.NewTable("Model", "Tier", "Failures", "Mitigated", "Avoided", "Wall(h)", "Total ovh(h)")
 	values := map[string]float64{}
-	appT, nodeT := AppTier(), NodeTier()
+	ref := Tiers()[0]
+	addRow := func(id policy.ID, tier string, agg *stats.Agg) (f, m, av int) {
+		for _, r := range agg.Runs() {
+			f += r.Failures
+			m += r.Mitigated
+			av += r.Avoided
+		}
+		t.AddRow(id.String(), tier,
+			fmt.Sprint(f), fmt.Sprint(m), fmt.Sprint(av),
+			fmt.Sprintf("%.2f", agg.MeanWallSeconds()/3600),
+			fmt.Sprintf("%.2f", agg.MeanOverheads().Total()/3600))
+		return
+	}
+	wanted := func(name string) bool {
+		if len(p.Tiers) == 0 {
+			return true
+		}
+		for _, w := range p.Tiers {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
 	for _, id := range policy.All() {
-		if !nodeT.Supports(id) {
+		var others []Tier
+		for _, ot := range Tiers()[1:] {
+			if ot.Supports(id) && wanted(ot.Name) {
+				others = append(others, ot)
+			}
+		}
+		if len(others) == 0 {
 			continue
 		}
-		aAgg := runTier(p, appT, id, plat, runs, p.Seed)
-		nAgg := runTier(p, nodeT, id, plat, runs, p.Seed)
-		var aF, nF, aM, nM, aA, nA int
-		for i, ar := range aAgg.Runs() {
-			nr := nAgg.Runs()[i]
-			aF += ar.Failures
-			nF += nr.Failures
-			aM += ar.Mitigated
-			nM += nr.Mitigated
-			aA += ar.Avoided
-			nA += nr.Avoided
+		aAgg := runTier(p, ref, id, plat, runs, p.Seed)
+		aF, aM, aA := addRow(id, ref.Name, aAgg)
+		for _, ot := range others {
+			oAgg := runTier(p, ot, id, plat, runs, p.Seed)
+			oF, oM, oA := addRow(id, ot.Name, oAgg)
+			pre := id.String() + "/" + ot.Name
+			values[pre+"/failures-diff"] = float64(aF - oF)
+			values[pre+"/mitigated-diff"] = float64(aM - oM)
+			values[pre+"/avoided-diff"] = float64(aA - oA)
+			wallDiv := 0.0
+			if aw := aAgg.MeanWallSeconds(); aw > 0 {
+				wallDiv = (oAgg.MeanWallSeconds() - aw) / aw
+			}
+			values[pre+"/wall-divergence"] = wallDiv
+			if ot.Name == StepTier().Name {
+				mismatch := 0
+				for i, ar := range aAgg.Runs() {
+					if ar != oAgg.Runs()[i] {
+						mismatch++
+					}
+				}
+				values[pre+"/exact-mismatch"] = float64(mismatch)
+			}
 		}
-		for _, row := range []struct {
-			tier      string
-			f, m, av  int
-			wall, tot float64
-		}{
-			{appT.Name, aF, aM, aA, aAgg.MeanWallSeconds(), aAgg.MeanOverheads().Total()},
-			{nodeT.Name, nF, nM, nA, nAgg.MeanWallSeconds(), nAgg.MeanOverheads().Total()},
-		} {
-			t.AddRow(id.String(), row.tier,
-				fmt.Sprint(row.f), fmt.Sprint(row.m), fmt.Sprint(row.av),
-				fmt.Sprintf("%.2f", row.wall/3600), fmt.Sprintf("%.2f", row.tot/3600))
-		}
-		values[id.String()+"/failures-diff"] = float64(aF - nF)
-		values[id.String()+"/mitigated-diff"] = float64(aM - nM)
-		values[id.String()+"/avoided-diff"] = float64(aA - nA)
-		wallDiv := 0.0
-		if aw := aAgg.MeanWallSeconds(); aw > 0 {
-			wallDiv = (nAgg.MeanWallSeconds() - aw) / aw
-		}
-		values[id.String()+"/wall-divergence"] = wallDiv
 	}
-	text := t.String() + fmt.Sprintf("\n(%d matched seeds per model; both tiers share internal/platform quantities and the internal/policy catalogue)\n", runs)
-	return Result{ID: "crossval", Title: "Cross-validation: app-level vs node-granular tier on matched seeds", Text: text, Values: values}
+	text := t.String() + fmt.Sprintf("\n(%d matched seeds per model; all tiers share internal/platform quantities and the internal/policy catalogue; the step tier must match the app tier bit for bit)\n", runs)
+	return Result{ID: "crossval", Title: "Cross-validation: app-level reference vs node-granular and step tiers on matched seeds", Text: text, Values: values}
 }

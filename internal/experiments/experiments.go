@@ -38,6 +38,11 @@ type Params struct {
 	// Apps restricts the applications simulated (names from the Table I
 	// catalogue); empty means the experiment's own default set.
 	Apps []string
+	// Tiers restricts the non-reference simulation tiers cross-validated
+	// against the app-level model (names from the Tiers() registry);
+	// empty means every registered tier. Experiments that run a single
+	// tier ignore it.
+	Tiers []string
 	// Metrics, when non-nil, collects merged simulation-metric snapshots
 	// across every configuration the experiment runs (see
 	// internal/metrics). Metering adds per-run registries but keeps the
@@ -46,9 +51,9 @@ type Params struct {
 	// Cache, when non-nil, is consulted before every configuration is
 	// simulated and receives every freshly simulated aggregate, making
 	// sweeps resumable (see internal/runcache). Cache keys exclude
-	// Workers (results are worker-count independent) and Apps (the app
-	// filter selects configurations, it does not change any one
-	// configuration's identity).
+	// Workers (results are worker-count independent) and the Apps/Tiers
+	// filters (a filter selects configurations, it does not change any
+	// one configuration's identity).
 	Cache *runcache.Store
 	// Experiment namespaces cache keys with the registry ID. Run stamps
 	// it; leave empty when calling a Def's Run function directly and the
@@ -123,7 +128,7 @@ func All() []Def {
 		{"obs9fix", "Extension: accuracy-aware σ in Eq. (2) (paper's future work)", Obs9Fix},
 		{"globalview", "Extension: p-ckpt with a global system view (paper's out-of-scope item)", GlobalView},
 		{"analytic", "Observation 8: analytical LM vs p-ckpt model (Eqs. 4-8)", Analytic},
-		{"crossval", "Cross-validation: app-level vs node-granular tier on matched seeds", CrossValidation},
+		{"crossval", "Cross-validation: app-level reference vs node-granular and step tiers on matched seeds", CrossValidation},
 		{"degraded", "Extension: degraded platform — injected write failures, corruption, restart retries", Degraded},
 		{"scenario", "Extension: declarative scenario specs — cohorts, platforms, failure-trace replay", Scenario},
 	}

@@ -9,18 +9,23 @@ import (
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
 	"pckpt/internal/stats"
+	"pckpt/internal/stepsim"
 )
 
 // Tier is one simulation granularity the experiment runner can drive: the
-// application-level model (internal/crmodel) or the node-granular
-// simulator (internal/nodesim). Both consume the shared platform
-// configuration and the policy catalogue, so a sweep is written once and
-// runs at either granularity.
+// application-level model (internal/crmodel), the node-granular
+// simulator (internal/nodesim), or the step-based tier-0 engine
+// (internal/stepsim). All consume the shared platform configuration and
+// the policy catalogue, so a sweep is written once and runs at any
+// granularity. Adding a tier is one registry entry in Tiers(); the
+// runner, cache, and cross-validation machinery key on Name.
 type Tier struct {
-	// Name labels the tier in tables ("app" / "node").
+	// Name labels the tier in tables and cache keys ("app" / "node" /
+	// "step"); it must be unique across the Tiers() registry.
 	Name string
 	// Supports reports whether the tier implements the catalogue entry
-	// (the node tier implements the subset with a NodeLabel).
+	// (the node tier implements the subset with a NodeLabel; the step
+	// tier implements the subset without p-ckpt episodes).
 	Supports func(id policy.ID) bool
 	// Simulate runs one seed of the model on the shared platform config.
 	Simulate func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult
@@ -50,8 +55,46 @@ func NodeTier() Tier {
 	}
 }
 
-// Tiers lists both granularities.
-func Tiers() []Tier { return []Tier{AppTier(), NodeTier()} }
+// StepTier is the tier-0 step-based engine; it implements the
+// analytic-friendly subset (B, M1, M2) and is bit-identical to the app
+// tier on shared failure streams — same RunResult, not just agreeing
+// statistics (crossval enforces this).
+func StepTier() Tier {
+	return Tier{
+		Name:     "step",
+		Supports: stepsim.Supports,
+		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+			return stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+		},
+	}
+}
+
+// Tiers is the tier registry, reference tier first. Every consumer that
+// enumerates granularities (cross-validation, CLI tier flags, parity
+// tests) ranges over this list, so registering a tier here is the only
+// required change.
+func Tiers() []Tier { return []Tier{AppTier(), NodeTier(), StepTier()} }
+
+// TierByName resolves a registry entry for CLI flags; ok is false for an
+// unknown name.
+func TierByName(name string) (Tier, bool) {
+	for _, t := range Tiers() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Tier{}, false
+}
+
+// TierNames lists the registry names in order, for flag help text.
+func TierNames() []string {
+	ts := Tiers()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}
 
 // runTier is SimulateTierN behind the result cache: the tier name joins
 // the per-configuration label so the two granularities of one catalogue

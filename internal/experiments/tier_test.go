@@ -8,6 +8,7 @@ import (
 	"pckpt/internal/crmodel"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
+	"pckpt/internal/runcache"
 	"pckpt/internal/stats"
 	"pckpt/internal/workload"
 )
@@ -43,6 +44,123 @@ func TestSimulateTierNRecoversPanickingRun(t *testing.T) {
 	for _, want := range []string{"tier=fake", "model=P2", "app=fakeapp"} {
 		if !strings.Contains(f.Config, want) {
 			t.Errorf("ledger config %q missing %q", f.Config, want)
+		}
+	}
+}
+
+// TestSimulateTierNEdgeCases pins the pool plumbing around the sweep:
+// zero runs yield an empty aggregate without deadlock, a worker count
+// above n clamps instead of idling goroutines on a closed channel, and a
+// panic in the LAST seed still lands in the ledger (the final channel
+// send must not race the drain).
+func TestSimulateTierNEdgeCases(t *testing.T) {
+	plat := platform.Config{App: workload.App{Name: "fakeapp", Nodes: 4, TotalCkptGB: 4, ComputeHours: 1}}
+	ok := Tier{
+		Name:     "fake",
+		Supports: func(policy.ID) bool { return true },
+		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+			return stats.RunResult{WallSeconds: float64(seed % 97)}
+		},
+	}
+
+	if agg := SimulateTierN(ok, policy.B, plat, 0, 7, 4); agg.N() != 0 || len(agg.Failed()) != 0 {
+		t.Fatalf("n=0: got %d runs, %d failures, want an empty aggregate", agg.N(), len(agg.Failed()))
+	}
+
+	if agg := SimulateTierN(ok, policy.B, plat, 2, 7, 16); agg.N() != 2 {
+		t.Fatalf("workers>n: got %d runs, want 2", agg.N())
+	}
+
+	lastSeed := crmodel.RunSeed(7, 5)
+	crashLast := ok
+	crashLast.Simulate = func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+		if seed == lastSeed {
+			panic("last-seed crash")
+		}
+		return stats.RunResult{}
+	}
+	agg := SimulateTierN(crashLast, policy.B, plat, 6, 7, 2)
+	if agg.N() != 5 || len(agg.Failed()) != 1 {
+		t.Fatalf("last-seed crash: %d runs + %d failures, want 5 + 1", agg.N(), len(agg.Failed()))
+	}
+	if f := agg.Failed()[0]; f.Seed != lastSeed || !strings.Contains(f.Err, "last-seed crash") {
+		t.Fatalf("last-seed crash misattributed: %+v", f)
+	}
+}
+
+// TestRunTierCacheKeysDistinct plants three same-named-everything-else
+// tiers against one cache directory: each tier's aggregate must resolve
+// from its own entry, so registering a third tier cannot silently serve
+// another tier's cached results.
+func TestRunTierCacheKeysDistinct(t *testing.T) {
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.Config{App: workload.App{Name: "fakeapp", Nodes: 4, TotalCkptGB: 4, ComputeHours: 1}}
+	p := Params{Runs: 3, Seed: 9, SeedSet: true, Workers: 1, Experiment: "cachetest", Cache: store}
+
+	calls := map[string]int{}
+	mk := func(name string, wall float64) Tier {
+		return Tier{
+			Name:     name,
+			Supports: func(policy.ID) bool { return true },
+			Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+				calls[name]++
+				return stats.RunResult{WallSeconds: wall}
+			},
+		}
+	}
+	tiers := []Tier{mk("alpha", 100), mk("beta", 200), mk("gamma", 300)}
+	for pass := 0; pass < 2; pass++ {
+		for i, tr := range tiers {
+			agg := runTier(p, tr, policy.B, plat, 3, p.Seed)
+			if want := float64((i + 1) * 100); agg.MeanWallSeconds() != want {
+				t.Fatalf("pass %d tier %s: mean wall %.0f, want %.0f (cache key collision)",
+					pass, tr.Name, agg.MeanWallSeconds(), want)
+			}
+		}
+	}
+	for name, n := range calls {
+		if n != 3 {
+			t.Errorf("tier %s simulated %d seeds, want 3 (second pass must be a cache hit)", name, n)
+		}
+	}
+}
+
+// TestTierRegistry pins the registry shape consumers rely on: the
+// reference tier leads, names are unique, and TierByName round-trips
+// every entry.
+func TestTierRegistry(t *testing.T) {
+	ts := Tiers()
+	if len(ts) != 3 || ts[0].Name != "app" {
+		t.Fatalf("Tiers() = %v, want app-led registry of 3", TierNames())
+	}
+	seen := map[string]bool{}
+	for _, tr := range ts {
+		if seen[tr.Name] {
+			t.Fatalf("duplicate tier name %q", tr.Name)
+		}
+		seen[tr.Name] = true
+		got, ok := TierByName(tr.Name)
+		if !ok || got.Name != tr.Name {
+			t.Fatalf("TierByName(%q) = (%v, %t)", tr.Name, got.Name, ok)
+		}
+	}
+	if _, ok := TierByName("bogus"); ok {
+		t.Fatal("TierByName resolved an unknown name")
+	}
+	want := map[string][]bool{
+		// per policy.All() order: B, M1, M2, P1, P2
+		"app":  {true, true, true, true, true},
+		"node": {true, false, false, true, true},
+		"step": {true, true, true, false, false},
+	}
+	for _, tr := range ts {
+		for i, id := range policy.All() {
+			if got := tr.Supports(id); got != want[tr.Name][i] {
+				t.Errorf("%s.Supports(%v) = %t, want %t", tr.Name, id, got, want[tr.Name][i])
+			}
 		}
 	}
 }

@@ -1,0 +1,127 @@
+package nodesim
+
+import (
+	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
+	"pckpt/internal/sim"
+)
+
+// This file is the failure path: rollback, restart-point resolution, and
+// the (possibly cascading, retried) recovery phase.
+
+// onFailure handles a node failure: void the current phase, roll back,
+// run the recovery phase, replace the node (implicitly — the rank keeps
+// its process).
+func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
+	c.res.Failures++
+	if ev.Lead > 0 {
+		c.res.Predicted++
+	}
+	out := c.pol.OnFailure(c.st, ev)
+	if out.MigrationAborted {
+		c.res.AbortedMigrations++
+	}
+	c.bankCompute()
+	c.abortBusy()
+	if out.Mitigated {
+		c.res.Mitigated++
+	}
+
+	// The failed node's BB died with it: if the newest coordinated
+	// checkpoint has not finished draining, the consistent restart point
+	// is the older PFS-resident one (Fig. 1 case B) — so the restart
+	// candidate is always the PFS placement, possibly improved by the
+	// proactive commit that mitigated this failure. On a degraded
+	// platform, candidates discovered corrupt at restore time are
+	// discarded in favour of older retained generations.
+	q, fromPFS, corrupted := c.st.ResolveRestart(c.st.PFSProgress(), out)
+	if corrupted > 0 {
+		c.res.CorruptRestarts += corrupted
+		c.inj.ObserveCorruptRestarts(corrupted)
+	}
+	recovery := c.plat.RecoveryBB
+	if fromPFS {
+		recovery = c.plat.RecoveryPFS
+	}
+	if c.progress > q {
+		c.met.recomputeLoss.Observe(c.progress - q)
+		c.res.Recompute += c.progress - q
+		c.progress = q
+	}
+	// Drain the aborted phase, then run recovery on every node: the
+	// replacement reads the PFS, the healthy ranks their burst buffers —
+	// modeled as one phase of the longer duration (they run in parallel).
+	pauseStart := c.env.Now()
+	pausedBefore := c.pausedInPhase
+	for !c.awaitPhase(p) {
+	}
+	// restore runs one restore phase of the given duration on every node.
+	restore := func(dur float64) {
+		start := c.env.Now()
+		post := func() {
+			for _, n := range c.nodes {
+				if !n.busy {
+					c.post(n, command{kind: cmdRecover, dur: dur})
+				}
+			}
+		}
+		post()
+		for !c.awaitPhase(p) {
+			// Another failure during recovery: the nested handler
+			// recovered already; redo this one's restore on whatever is
+			// idle.
+			start = c.env.Now()
+			post()
+		}
+		c.met.recoveryDur.Observe(c.env.Now() - start)
+		c.res.Overheads.Recovery += c.env.Now() - start
+	}
+	// Each corrupt candidate cost a torn read of full restore length
+	// before the clean generation was found.
+	for i := 0; i < corrupted; i++ {
+		restore(recovery)
+	}
+	// The restore itself, stretched by cascades (a secondary failure
+	// inside the window voids the partial restore) and by failed restart
+	// attempts (deterministic doubling backoff, charged as downtime).
+	attempt, cascades := 0, 0
+	for {
+		if strike, frac := c.inj.CascadeRecovery(); strike && cascades < faultinject.MaxCascadeDepth {
+			cascades++
+			c.res.Cascades++
+			restore(frac * recovery)
+			continue
+		}
+		restore(recovery)
+		fail, backoff := c.inj.RestartAttemptFails(attempt)
+		if !fail {
+			break
+		}
+		attempt++
+		c.res.RestartRetries++
+		if backoff > 0 {
+			c.coordWait(p, backoff)
+		}
+	}
+	if cascades > 0 {
+		c.inj.ObserveCascadeDepth(cascades)
+	}
+	nested := c.pausedInPhase - pausedBefore
+	c.pausedInPhase = pausedBefore + nested + ((c.env.Now() - pauseStart) - nested)
+}
+
+// coordWait blocks the coordinator for dur seconds of restart backoff,
+// charging the waited spans as recovery downtime and handling injected
+// events that interrupt it (a secondary failure during backoff recovers
+// recursively, then the remaining backoff elapses).
+func (c *cluster) coordWait(p *sim.Proc, dur float64) {
+	target := c.env.Now() + dur
+	for c.env.Now() < target {
+		start := c.env.Now()
+		err := p.Wait(target - c.env.Now())
+		c.res.Overheads.Recovery += c.env.Now() - start
+		if err != nil {
+			c.handleEvents(p)
+		}
+	}
+}

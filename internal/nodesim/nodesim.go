@@ -20,17 +20,19 @@
 // commands to node processes and awaiting their reports; the failure
 // injector interrupts only the coordinator. Node processes execute timed
 // work and can be aborted mid-phase when a failure voids it.
+//
+// The package splits along those lines: this file holds the public
+// configuration surface and Simulate; engine.go the command/report
+// machinery between coordinator and nodes; phases.go the BSP phases and
+// proactive handshakes; fault.go the failure path.
 package nodesim
 
 import (
 	"fmt"
-	"math"
 
 	"pckpt/internal/failure"
 	"pckpt/internal/faultinject"
-	"pckpt/internal/iomodel"
 	"pckpt/internal/metrics"
-	"pckpt/internal/oci"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
 	"pckpt/internal/rng"
@@ -92,90 +94,6 @@ func (c Config) Sigma() float64 {
 		return 0
 	}
 	return c.Config.SigmaLM()
-}
-
-// command kinds issued by the coordinator.
-type cmdKind uint8
-
-const (
-	cmdCompute cmdKind = iota
-	cmdBBWrite
-	cmdVulnWrite
-	cmdBulkWrite
-	cmdRecover
-	cmdExit
-)
-
-type command struct {
-	kind cmdKind
-	// dur is the work duration for timed commands; vulnWrite derives its
-	// own duration and uses deadline for lane priority.
-	dur      float64
-	deadline float64
-	// ev ties a vulnWrite back to the prediction that caused it.
-	ev failure.Event
-}
-
-// node is one compute node's process-side state.
-type node struct {
-	id   int
-	proc *sim.Proc
-	// cmd is the pending command; ready is pulsed (not latched) when one
-	// is posted, so one event serves the node for the whole run.
-	cmd   command
-	ready *sim.Event
-	busy  bool
-}
-
-// cluster is the shared state, mutated lock-step.
-type cluster struct {
-	cfg   Config
-	pol   policy.Policy
-	env   *sim.Env
-	io    *iomodel.Model
-	nodes []*node
-	coord *sim.Proc
-	est   *failure.RateEstimator
-	// inj is the degraded-platform fault plan (nil = perfect platform;
-	// every hook on nil is a no-op).
-	inj *faultinject.Injector
-
-	// plat holds the precomputed platform quantities, derived once by
-	// internal/platform; sigma is Eq. (2)'s σ gated on the policy's LM
-	// capability (0 for base and p-ckpt).
-	plat  platform.Derived
-	sigma float64
-
-	// progress is the BSP global progress; checkpoint placement and the
-	// rest of the C/R lifecycle (fail epochs, drains, episodes,
-	// migrations, ledgers) live in st.
-	progress float64
-	st       *policy.State
-
-	// Lane is the prioritized PFS path of phase 1.
-	lane *sim.Resource
-
-	// Coordinator bookkeeping. allDone is a single pulsed event for every
-	// phase drain of the run; the coordinator is its only possible waiter.
-	outstanding int
-	allDone     *sim.Event
-	// phaseAborts counts node commands cut short by a phase abort — the
-	// explicit other half of a timed command's Wait, kept as engine-side
-	// accounting (deliberately not part of stats.RunResult).
-	phaseAborts int
-	pending     []failure.Event
-	// computing/computeStart bank partial compute progress: pausing
-	// handlers (episodes, failures) call bankCompute so rollbacks and
-	// pauses never miscount computation.
-	computing    bool
-	computeStart float64
-	// pausedInPhase accumulates handler pauses inside the current
-	// coordinator phase, so the BB phase can compute its true remaining
-	// write time after an episode interleaved with it.
-	pausedInPhase float64
-
-	met nodeMetrics
-	res stats.RunResult
 }
 
 // nodeMetrics is the node-granular tier's instrument handle set; all nil
@@ -259,525 +177,4 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	env.RunAll()
 	env.Release()
 	return c.res
-}
-
-// nodeLoop executes commands until told to exit.
-func (c *cluster) nodeLoop(p *sim.Proc, n *node) {
-	for {
-		for !n.busy {
-			if err := p.WaitEvent(n.ready); err != nil {
-				panic(fmt.Sprintf("nodesim: idle node interrupted: %v", err))
-			}
-		}
-		cmd := n.cmd
-		switch cmd.kind {
-		case cmdExit:
-			n.busy = false
-			return
-		case cmdVulnWrite:
-			c.vulnWrite(p, n, cmd)
-		default:
-			// Timed work, abortable: an interrupt means the coordinator
-			// voided the phase. The abort still reports — the coordinator
-			// is waiting for the phase to drain — but takes the explicit
-			// branch so an expired wait and a voided one are never
-			// conflated.
-			if cmd.dur > 0 {
-				if err := p.Wait(cmd.dur); err != nil {
-					c.phaseAborts++
-					c.report(n)
-					continue
-				}
-			}
-		}
-		c.report(n)
-	}
-}
-
-// vulnWrite is the phase-1 prioritized commit: acquire the PFS lane in
-// lead-time order, write uncontended, record mitigation. Entry time is
-// the post time (posting triggers the node in the same sim instant), so
-// the lane-acquire span is the protocol's coordination wait and the full
-// span is the per-node commit latency.
-func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
-	posted := c.env.Now()
-	for {
-		if err := c.lane.Acquire(p, cmd.deadline); err != nil {
-			return // episode abandoned while queued
-		}
-		c.met.laneWait.Observe(c.env.Now() - posted)
-		err := p.Wait(c.plat.SingleNodePFSWrite)
-		c.lane.Release()
-		if err != nil {
-			return // aborted mid-write
-		}
-		if c.inj.PFSWriteFails() {
-			// The prioritized write tore. If the remaining lead time
-			// covers another attempt, re-enter the lane queue (same
-			// deadline, so the same lead-time priority); otherwise the
-			// prediction goes unserved.
-			c.res.PFSWriteFailures++
-			if c.env.Now()+c.plat.SingleNodePFSWrite <= cmd.deadline {
-				continue
-			}
-			return
-		}
-		break
-	}
-	c.met.commitLat.Observe(c.env.Now() - posted)
-	ep := c.st.Episode()
-	if ep != nil {
-		ep.Committed++
-	}
-	if cmd.ev.Kind == failure.KindPrediction && c.env.Now() <= cmd.ev.FailTime {
-		startProgress := c.progress
-		if ep != nil {
-			startProgress = ep.StartProgress
-		}
-		c.st.Mitigate(cmd.ev.ID, startProgress)
-	}
-}
-
-// post issues a command to a node and counts it outstanding.
-func (c *cluster) post(n *node, cmd command) {
-	if n.busy {
-		panic(fmt.Sprintf("nodesim: node %d already busy", n.id))
-	}
-	n.cmd = cmd
-	n.busy = true
-	c.outstanding++
-	n.ready.Pulse()
-}
-
-// report marks a node's command finished and wakes the coordinator when
-// the phase drains.
-func (c *cluster) report(n *node) {
-	n.busy = false
-	c.outstanding--
-	// Wake the coordinator only if it is actually parked on the drain
-	// event; with zero waiters it is off handling an injected failure and
-	// will re-check outstanding itself.
-	if c.outstanding == 0 && c.allDone.Waiters() > 0 {
-		c.allDone.Pulse()
-	}
-}
-
-// abortBusy interrupts every node still executing a command.
-func (c *cluster) abortBusy() {
-	for _, n := range c.nodes {
-		if n.busy {
-			n.proc.Interrupt("phase aborted")
-		}
-	}
-}
-
-// awaitPhase blocks the coordinator until every outstanding command has
-// reported, handling injected events as they arrive. It returns false if
-// a failure voided the phase (the caller decides what that means).
-func (c *cluster) awaitPhase(p *sim.Proc) bool {
-	epoch := c.st.Epoch()
-	for c.outstanding > 0 {
-		if err := p.WaitEvent(c.allDone); err != nil {
-			c.handleEvents(p)
-			if c.st.Epoch() != epoch {
-				return false
-			}
-		}
-	}
-	return c.st.Epoch() == epoch
-}
-
-// coordinate is the coordinator process: the BSP main loop.
-func (c *cluster) coordinate(p *sim.Proc) {
-	for c.progress < c.plat.ComputeSeconds {
-		c.computePhase(p)
-		if c.progress >= c.plat.ComputeSeconds {
-			break
-		}
-		c.bbPhase(p)
-	}
-	c.res.WallSeconds = c.env.Now()
-	for _, n := range c.nodes {
-		c.post(n, command{kind: cmdExit})
-	}
-}
-
-// computePhase advances all nodes by one checkpoint interval. Progress
-// accounting runs through bankCompute: the segment in flight is banked
-// either here (normal completion) or by a pausing handler (episode,
-// failure) before it mutates progress.
-func (c *cluster) computePhase(p *sim.Proc) {
-	rate := c.est.Rate(c.env.Now())
-	interval := oci.FromJobRate(c.plat.BBWrite, rate, c.sigma)
-	target := math.Min(c.progress+interval, c.plat.ComputeSeconds)
-	// The banked float sums can stall a hair short of the target while
-	// simulated time can no longer resolve the residual; treat anything
-	// below a microsecond as done and snap.
-	for target-c.progress > 1e-6 {
-		c.computing = true
-		c.computeStart = c.env.Now()
-		c.pausedInPhase = 0
-		for _, n := range c.nodes {
-			if !n.busy {
-				c.post(n, command{kind: cmdCompute, dur: target - c.progress})
-			}
-		}
-		c.awaitPhase(p)
-		c.bankCompute()
-		if c.st.TakeRescheduled() {
-			// A proactive action committed a full checkpoint: re-base the
-			// periodic schedule on a fresh interval from here.
-			rate = c.est.Rate(c.env.Now())
-			interval = oci.FromJobRate(c.plat.BBWrite, rate, c.sigma)
-			target = math.Min(c.progress+interval, c.plat.ComputeSeconds)
-		}
-	}
-	c.progress = target
-}
-
-// bbPhase stages the periodic checkpoint on every burst buffer. Episodes
-// interleaving with the write pause it; the remaining write time resumes
-// afterwards (handler pauses are excluded via pausedInPhase). A failure
-// voids the write entirely.
-func (c *cluster) bbPhase(p *sim.Proc) {
-	began := c.env.Now()
-	remaining := c.plat.BBWrite
-	for remaining > 1e-9 {
-		start := c.env.Now()
-		c.pausedInPhase = 0
-		for _, n := range c.nodes {
-			if !n.busy {
-				c.post(n, command{kind: cmdBBWrite, dur: remaining})
-			}
-		}
-		ok := c.awaitPhase(p)
-		worked := (c.env.Now() - start) - c.pausedInPhase
-		c.res.Overheads.Checkpoint += worked
-		if !ok {
-			return // failure voided the write; partial time stays charged
-		}
-		remaining -= worked
-	}
-	c.met.bbWrite.Observe(c.env.Now() - began)
-	if c.inj.BBWriteFails() {
-		// The write occupied every BB for its full duration and then
-		// failed: nothing committed, no drain; the next periodic cycle
-		// checkpoints the (re)computed state.
-		c.res.BBWriteFailures++
-		return
-	}
-	c.res.Checkpoints++
-	c.st.CommitBB(c.progress)
-	if c.inj.CorruptCommit() {
-		// Silently torn; discovered only when a restart reads it.
-		c.st.MarkCorrupt(c.progress)
-	}
-	captured := c.progress
-	gen, depth := c.st.BeginDrain()
-	c.met.drainDepth.Set(c.env.Now(), float64(depth))
-	c.env.At(c.plat.Drain, func() {
-		depth, current := c.st.FinishDrain(gen)
-		c.met.drainDepth.Set(c.env.Now(), float64(depth))
-		if current {
-			if c.inj.PFSWriteFails() {
-				// The drain's PFS write failed: the BB copy stands, but
-				// the generation never lands on the PFS.
-				c.res.PFSWriteFailures++
-				return
-			}
-			c.st.CommitPFS(captured)
-		}
-	})
-}
-
-// handleEvents drains injected events (the coordinator holds the token).
-func (c *cluster) handleEvents(p *sim.Proc) {
-	for len(c.pending) > 0 {
-		ev := c.pending[0]
-		c.pending = c.pending[1:]
-		switch ev.Kind {
-		case failure.KindPrediction, failure.KindSpurious:
-			c.onPrediction(p, ev)
-		case failure.KindFailure:
-			c.onFailure(p, ev)
-		}
-	}
-}
-
-// onPrediction records the prediction and executes whatever proactive
-// action the policy's strategy decides.
-func (c *cluster) onPrediction(p *sim.Proc, ev failure.Event) {
-	if ev.Kind == failure.KindPrediction {
-		c.st.RecordPrediction(ev.ID, policy.Prediction{Node: ev.Node, FailAt: ev.FailTime, Lead: ev.Lead})
-	}
-	switch c.pol.OnPrediction(c.st, ev.Node, ev.Lead, c.plat.Theta) {
-	case policy.ActJoinEpisode:
-		if n := c.nodes[ev.Node]; !n.busy {
-			// Joins phase 1: the node heads straight for the lane.
-			c.post(n, command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
-		}
-	case policy.ActMigrate:
-		c.startMigration(ev)
-	case policy.ActStartEpisode:
-		c.runEpisode(p, ev)
-	}
-}
-
-// startMigration begins a background live migration.
-func (c *cluster) startMigration(ev failure.Event) {
-	m := c.st.StartMigration(ev)
-	c.env.At(c.plat.Theta, func() {
-		if !c.st.FinishMigration(m) {
-			return
-		}
-		c.res.Migrations++
-		c.res.Overheads.Checkpoint += c.cfg.LM.DilationSeconds(c.plat.PerNodeGB)
-		if ev.Kind == failure.KindPrediction {
-			c.st.MarkAvoided(ev.ID)
-			c.res.Avoided++
-			c.st.ForgetPrediction(ev.ID)
-		}
-	})
-}
-
-// runEpisode executes a p-ckpt episode at node granularity: the
-// vulnerable nodes race to the priority lane while every other node
-// waits; then the healthy nodes bulk-commit.
-//
-// The coordinator reaches here from inside awaitPhase of a voided outer
-// phase — the outer phase's nodes were NOT aborted, so first abort them
-// (healthy nodes enter the waiting state, per the protocol).
-func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
-	c.res.ProactiveCkpts++
-	// Pause the world: bank the compute in flight, then abort whatever
-	// the nodes were doing. Their reports drain into the current
-	// outstanding count, which the episode waits out.
-	c.bankCompute()
-	c.abortBusy()
-	ep := c.st.BeginEpisode(c.progress)
-	defer c.st.EndEpisode()
-	// Abort in-flight migrations; their nodes join phase 1 (Fig. 5).
-	epochStart := c.st.Epoch()
-	pendingVuln := []failure.Event{first}
-	c.st.AbortMigrations(func(ev failure.Event) {
-		c.res.AbortedMigrations++
-		pendingVuln = append(pendingVuln, ev)
-	})
-	start := c.env.Now()
-	pausedBefore := c.pausedInPhase
-	// selfSpan charges the episode's own blocked time, excluding nested
-	// handler pauses (a recovery inside the episode charges Recovery).
-	charge := func() {
-		nested := c.pausedInPhase - pausedBefore
-		selfSpan := (c.env.Now() - start) - nested
-		c.res.Overheads.Checkpoint += selfSpan
-		c.pausedInPhase = pausedBefore + nested + selfSpan
-	}
-	// Wait for the aborted outer phase to drain before reusing nodes.
-	if !c.awaitPhase(p) {
-		charge()
-		c.met.episodesAbandoned.Inc()
-		return // a failure landed even before phase 1 began
-	}
-	for _, ev := range pendingVuln {
-		if c.nodes[ev.Node].busy {
-			continue // already queued via a duplicate prediction
-		}
-		c.post(c.nodes[ev.Node], command{kind: cmdVulnWrite, deadline: ev.FailTime, ev: ev})
-	}
-	if !c.awaitPhase(p) || ep.Abandoned {
-		charge()
-		c.met.episodesAbandoned.Inc()
-		return
-	}
-	// Phase 2: pfs-commit broadcast; every remaining node writes.
-	healthy := len(c.nodes) - ep.Committed
-	if healthy > 0 {
-		tr := c.io.PFSWriteTransfer(healthy, c.plat.PerNodeGB)
-		for _, n := range c.nodes {
-			if !n.busy {
-				c.post(n, command{kind: cmdBulkWrite, dur: tr.Seconds})
-			}
-		}
-		if !c.awaitPhase(p) {
-			charge()
-			c.met.episodesAbandoned.Inc()
-			return
-		}
-		c.met.pfsGBs.Observe(tr.GBs)
-	}
-	charge()
-	c.met.episodeDur.Observe(c.env.Now() - start)
-	if c.st.Epoch() == epochStart {
-		if c.inj.PFSWriteFails() {
-			// The phase-2 collective write failed: the episode's full
-			// checkpoint never commits (phase-1 mitigations stand —
-			// those nodes' states did reach the PFS).
-			c.res.PFSWriteFailures++
-		} else {
-			c.st.CommitPFS(ep.StartProgress)
-			if c.inj.CorruptCommit() {
-				c.st.MarkCorrupt(ep.StartProgress)
-			}
-			c.st.MarkRescheduled()
-		}
-	}
-}
-
-// onFailure handles a node failure: void the current phase, roll back,
-// run the recovery phase, replace the node (implicitly — the rank keeps
-// its process).
-func (c *cluster) onFailure(p *sim.Proc, ev failure.Event) {
-	c.res.Failures++
-	if ev.Lead > 0 {
-		c.res.Predicted++
-	}
-	out := c.pol.OnFailure(c.st, ev)
-	if out.MigrationAborted {
-		c.res.AbortedMigrations++
-	}
-	c.bankCompute()
-	c.abortBusy()
-	if out.Mitigated {
-		c.res.Mitigated++
-	}
-
-	// The failed node's BB died with it: if the newest coordinated
-	// checkpoint has not finished draining, the consistent restart point
-	// is the older PFS-resident one (Fig. 1 case B) — so the restart
-	// candidate is always the PFS placement, possibly improved by the
-	// proactive commit that mitigated this failure. On a degraded
-	// platform, candidates discovered corrupt at restore time are
-	// discarded in favour of older retained generations.
-	q, fromPFS, corrupted := c.st.ResolveRestart(c.st.PFSProgress(), out)
-	if corrupted > 0 {
-		c.res.CorruptRestarts += corrupted
-		c.inj.ObserveCorruptRestarts(corrupted)
-	}
-	recovery := c.plat.RecoveryBB
-	if fromPFS {
-		recovery = c.plat.RecoveryPFS
-	}
-	if c.progress > q {
-		c.met.recomputeLoss.Observe(c.progress - q)
-		c.res.Recompute += c.progress - q
-		c.progress = q
-	}
-	// Drain the aborted phase, then run recovery on every node: the
-	// replacement reads the PFS, the healthy ranks their burst buffers —
-	// modeled as one phase of the longer duration (they run in parallel).
-	pauseStart := c.env.Now()
-	pausedBefore := c.pausedInPhase
-	for !c.awaitPhase(p) {
-	}
-	// restore runs one restore phase of the given duration on every node.
-	restore := func(dur float64) {
-		start := c.env.Now()
-		post := func() {
-			for _, n := range c.nodes {
-				if !n.busy {
-					c.post(n, command{kind: cmdRecover, dur: dur})
-				}
-			}
-		}
-		post()
-		for !c.awaitPhase(p) {
-			// Another failure during recovery: the nested handler
-			// recovered already; redo this one's restore on whatever is
-			// idle.
-			start = c.env.Now()
-			post()
-		}
-		c.met.recoveryDur.Observe(c.env.Now() - start)
-		c.res.Overheads.Recovery += c.env.Now() - start
-	}
-	// Each corrupt candidate cost a torn read of full restore length
-	// before the clean generation was found.
-	for i := 0; i < corrupted; i++ {
-		restore(recovery)
-	}
-	// The restore itself, stretched by cascades (a secondary failure
-	// inside the window voids the partial restore) and by failed restart
-	// attempts (deterministic doubling backoff, charged as downtime).
-	attempt, cascades := 0, 0
-	for {
-		if strike, frac := c.inj.CascadeRecovery(); strike && cascades < faultinject.MaxCascadeDepth {
-			cascades++
-			c.res.Cascades++
-			restore(frac * recovery)
-			continue
-		}
-		restore(recovery)
-		fail, backoff := c.inj.RestartAttemptFails(attempt)
-		if !fail {
-			break
-		}
-		attempt++
-		c.res.RestartRetries++
-		if backoff > 0 {
-			c.coordWait(p, backoff)
-		}
-	}
-	if cascades > 0 {
-		c.inj.ObserveCascadeDepth(cascades)
-	}
-	nested := c.pausedInPhase - pausedBefore
-	c.pausedInPhase = pausedBefore + nested + ((c.env.Now() - pauseStart) - nested)
-}
-
-// coordWait blocks the coordinator for dur seconds of restart backoff,
-// charging the waited spans as recovery downtime and handling injected
-// events that interrupt it (a secondary failure during backoff recovers
-// recursively, then the remaining backoff elapses).
-func (c *cluster) coordWait(p *sim.Proc, dur float64) {
-	target := c.env.Now() + dur
-	for c.env.Now() < target {
-		start := c.env.Now()
-		err := p.Wait(target - c.env.Now())
-		c.res.Overheads.Recovery += c.env.Now() - start
-		if err != nil {
-			c.handleEvents(p)
-		}
-	}
-}
-
-// bankCompute folds the in-flight compute segment into progress; pausing
-// handlers call it before they stop the world.
-func (c *cluster) bankCompute() {
-	if !c.computing {
-		return
-	}
-	c.progress += c.env.Now() - c.computeStart
-	c.computing = false
-}
-
-// inject delivers the failure stream to the coordinator.
-func (c *cluster) inject(p *sim.Proc, stream failure.EventSource) {
-	for {
-		ev := stream.Next()
-		if !c.coord.Alive() {
-			return
-		}
-		if dt := ev.Time - c.env.Now(); dt > 0 {
-			if err := p.Wait(dt); err != nil {
-				panic(fmt.Sprintf("nodesim: injector interrupted: %v", err))
-			}
-		}
-		if !c.coord.Alive() {
-			return
-		}
-		switch ev.Kind {
-		case failure.KindFailure:
-			if c.st.ConsumeAvoided(ev.ID) {
-				continue
-			}
-			c.est.Observe()
-		default:
-			if !c.cfg.Policy.UsesPrediction() {
-				continue
-			}
-		}
-		c.pending = append(c.pending, ev)
-		c.coord.Interrupt("failure-stream")
-	}
 }

@@ -1,0 +1,656 @@
+package stepsim
+
+import (
+	"fmt"
+	"math"
+
+	"pckpt/internal/cluster"
+	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
+	"pckpt/internal/metrics"
+	"pckpt/internal/oci"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/rng"
+	"pckpt/internal/stats"
+	"pckpt/internal/trace"
+)
+
+// Config parameterises one step-tier simulation: the model under test,
+// the shared platform configuration, and this tier's observers. It is
+// the same shape as crmodel.Config restricted to the analytic-friendly
+// catalogue subset (B, M1, M2 — the models whose proactive reactions are
+// a background callback or a single blocking write, with no p-ckpt
+// episode machinery).
+type Config struct {
+	// Model is the C/R policy to simulate. Must satisfy Supports.
+	Model policy.ID
+	// Config is the tier-independent platform; its fields are promoted.
+	platform.Config
+	// Trace, when non-nil, receives the run's timeline events.
+	Trace trace.Recorder
+	// Metrics, when non-nil, receives the run's simulation-time metrics
+	// under the "stepsim.<model>." prefix. Nil costs nothing.
+	Metrics *metrics.Registry
+}
+
+// Supports reports whether the step tier implements the catalogue entry:
+// the subset without p-ckpt episodes (B, M1, M2).
+func Supports(id policy.ID) bool { return id.Valid() && !id.UsesPckpt() }
+
+// withDefaults returns a copy with zero platform fields defaulted.
+func (c Config) withDefaults() Config {
+	c.Config = c.Config.WithDefaults()
+	return c
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	if !c.Model.Valid() {
+		return fmt.Errorf("stepsim: invalid model %d", uint8(c.Model))
+	}
+	if !Supports(c.Model) {
+		return fmt.Errorf("stepsim: model %v needs p-ckpt episodes, outside the step tier's subset", c.Model)
+	}
+	return c.Config.Validate()
+}
+
+// Sigma returns Eq. (2)'s σ for this configuration (0 for models
+// without LM), exactly as the app tier computes it.
+func (c Config) Sigma() float64 {
+	if !c.Model.UsesLM() {
+		return 0
+	}
+	return c.Config.SigmaLM()
+}
+
+// maxRunEvents is the per-run watchdog ceiling, matching crmodel's.
+const maxRunEvents = 100_000_000
+
+// appSim is the state of one step-tier run. It mirrors crmodel.appSim
+// field for field, but the application "process" is a continuation chain
+// on the step engine instead of a goroutine: every blocking call site of
+// the process-based tier appears here as a wait with an explicit
+// continuation, scheduled at the same logical point in the same
+// statement order — which is what makes a run bit-identical to the app
+// tier on the shared failure stream.
+type appSim struct {
+	cfg    Config
+	pol    policy.Policy
+	eng    *Engine
+	stream failure.EventSource
+	est    *failure.RateEstimator
+	cl     *cluster.Cluster
+	inj    *faultinject.Injector
+
+	plat  platform.Derived
+	sigma float64
+
+	progress float64
+	curOCI   float64
+	st       *policy.State
+
+	pending      []failure.Event
+	safeguarding bool
+
+	// Step-machine state standing in for the application goroutine:
+	// appDone mirrors !Proc.Alive(); blocked is the pending wake timer
+	// while the app waits; blockedCont is the wait's continuation
+	// (invoked with interrupted=true when the injector cuts it short);
+	// interruptPending drops double interrupt deliveries exactly like
+	// sim.Proc (the first reason wins).
+	appDone          bool
+	blocked          Timer
+	blockedCont      func(interrupted bool)
+	interruptPending bool
+
+	met runMetrics
+	res stats.RunResult
+}
+
+// trace emits a timeline event when tracing is enabled.
+func (a *appSim) trace(kind trace.Kind, node int, detail string) {
+	if a.cfg.Trace == nil {
+		return
+	}
+	a.cfg.Trace.Record(trace.Event{
+		T:        a.eng.Now(),
+		Kind:     kind,
+		Node:     node,
+		Progress: a.progress,
+		Detail:   detail,
+	})
+}
+
+// Simulate executes one run and returns its accounting. Deterministic in
+// (cfg, seed), and bit-identical to crmodel.Simulate for the supported
+// models on the same configuration and seed.
+func Simulate(cfg Config, seed uint64) stats.RunResult {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(seed)
+	a := &appSim{
+		cfg:   cfg,
+		pol:   policy.For(cfg.Model),
+		eng:   NewEngine(),
+		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
+		cl:    cluster.New(cfg.App.Nodes, math.MaxInt32),
+		plat:  cfg.Derive(),
+		sigma: cfg.Sigma(),
+		st:    policy.NewState(),
+	}
+	a.met = newRunMetrics(cfg.Metrics, cfg.Model)
+	if cfg.Metrics != nil {
+		a.observeCluster()
+	}
+	// Substream layout matches the app tier exactly: the failure stream
+	// draws from Split(1), the fault plan from Split(StreamKey).
+	a.stream = failure.NewSource(cfg.StreamConfig(cfg.Metrics), src.Split(1))
+	a.inj = faultinject.New(cfg.Faults, src.Split(faultinject.StreamKey), cfg.Metrics)
+	a.eng.SetWatchdog(maxRunEvents, 0)
+
+	// Start order mirrors crmodel's spawn order: the app's first compute
+	// cycle schedules its wake before the injector draws the stream.
+	a.eng.AtNamed(0, "app", a.start)
+	a.eng.AtNamed(0, "injector", a.injectLoop)
+	a.eng.RunAll()
+	a.eng.Release()
+	return a.res
+}
+
+// wait parks the application for d seconds of simulated time: cont runs
+// at expiry with interrupted=false, or at the interrupt time with
+// interrupted=true if the injector cuts the wait short (in which case
+// less than d elapsed) — the CPS equivalent of sim.Proc.Wait.
+func (a *appSim) wait(d float64, cont func(interrupted bool)) {
+	if d < 0 {
+		panic(fmt.Sprintf("stepsim: wait with negative duration %g", d))
+	}
+	a.blockedCont = cont
+	a.blocked = a.eng.AfterCancel(d, "app", func() {
+		a.resume()(false)
+	})
+}
+
+// resume clears the parked state and returns the pending continuation,
+// mirroring sim.Proc.park's bookkeeping on wake-up.
+func (a *appSim) resume() func(bool) {
+	cont := a.blockedCont
+	a.blockedCont = nil
+	a.blocked = Timer{}
+	a.interruptPending = false
+	return cont
+}
+
+// interrupt delivers an interrupt to the parked application: its pending
+// wake is cancelled and the interrupted continuation is scheduled at the
+// current time — exactly sim.Proc.Interrupt on a Wait-blocked process,
+// including the double-delivery drop.
+func (a *appSim) interrupt() {
+	if a.appDone {
+		return
+	}
+	if a.interruptPending {
+		return
+	}
+	a.interruptPending = true
+	a.eng.Cancel(a.blocked)
+	a.blocked = Timer{}
+	a.eng.AtNamed(0, "app", func() {
+		a.resume()(true)
+	})
+}
+
+// refreshOCI re-derives the checkpoint interval from the current failure
+// rate estimate, per Eq. (1) (σ=0) or Eq. (2).
+func (a *appSim) refreshOCI() {
+	rate := a.est.Rate(a.eng.Now())
+	a.curOCI = oci.FromJobRate(a.plat.BBWrite, rate, a.sigma)
+}
+
+// start begins the application: compute OCI seconds, checkpoint to BB,
+// repeat until the required computation completes (crmodel's run loop).
+func (a *appSim) start() {
+	a.runLoop()
+}
+
+func (a *appSim) runLoop() {
+	if a.progress < a.plat.ComputeSeconds {
+		a.computeChunk(func() {
+			if a.progress >= a.plat.ComputeSeconds {
+				a.finish()
+				return
+			}
+			a.bbCheckpoint(a.runLoop)
+		})
+		return
+	}
+	a.finish()
+}
+
+// finish completes the application process; the injector observes
+// appDone at its next delivery, exactly as it observes !Alive().
+func (a *appSim) finish() {
+	a.res.WallSeconds = a.eng.Now()
+	a.trace(trace.Complete, -1, "")
+	a.appDone = true
+}
+
+// computeChunk advances the application by one checkpoint interval,
+// absorbing interrupts, then runs k.
+func (a *appSim) computeChunk(k func()) {
+	a.refreshOCI()
+	target := math.Min(a.progress+a.curOCI, a.plat.ComputeSeconds)
+	if a.cfg.Trace != nil {
+		a.trace(trace.CycleStart, -1, fmt.Sprintf("interval=%.0fs", target-a.progress))
+	}
+	var step func()
+	step = func() {
+		if a.progress >= target {
+			k()
+			return
+		}
+		start := a.eng.Now()
+		a.wait(target-a.progress, func(interrupted bool) {
+			a.progress += a.eng.Now() - start
+			if !interrupted {
+				k()
+				return
+			}
+			a.handleEvents(func() {
+				if a.st.TakeRescheduled() {
+					// A proactive action committed a full checkpoint;
+					// re-base the periodic schedule on the fresh interval.
+					a.refreshOCI()
+					target = math.Min(a.progress+a.curOCI, a.plat.ComputeSeconds)
+				}
+				step()
+			})
+		})
+	}
+	step()
+}
+
+// bbCheckpoint performs the synchronous burst-buffer write of a periodic
+// checkpoint, launches the asynchronous PFS drain, then runs k.
+func (a *appSim) bbCheckpoint(k func()) {
+	began := a.eng.Now()
+	a.blockedWait(a.plat.BBWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
+		if !ok {
+			// A failure voided the write and rolled progress back; resume
+			// computing, the next cycle will checkpoint the redone state.
+			a.met.bbAborted.Inc()
+			k()
+			return
+		}
+		a.met.bbWrite.Observe(a.eng.Now() - began)
+		if a.inj.BBWriteFails() {
+			a.res.BBWriteFailures++
+			a.trace(trace.BBWrite, -1, "write failed (injected)")
+			k()
+			return
+		}
+		a.res.Checkpoints++
+		a.st.CommitBB(a.progress)
+		if a.inj.CorruptCommit() {
+			a.st.MarkCorrupt(a.progress)
+		}
+		a.trace(trace.BBWrite, -1, "")
+		a.cl.RecordBBCheckpointAll(a.progress)
+		captured := a.progress
+		gen, depth := a.st.BeginDrain()
+		a.met.drainDepth.Set(a.eng.Now(), float64(depth))
+		a.eng.At(a.plat.Drain, func() {
+			depth, current := a.st.FinishDrain(gen)
+			a.met.drainDepth.Set(a.eng.Now(), float64(depth))
+			// The drain completes unless a newer checkpoint superseded it.
+			if current {
+				if a.inj.PFSWriteFails() {
+					a.res.PFSWriteFailures++
+					a.trace(trace.DrainDone, -1, "drain failed (injected)")
+					return
+				}
+				a.commitFullPFS(captured)
+				a.trace(trace.DrainDone, -1, "")
+			}
+		})
+		k()
+	})
+}
+
+// blockedWait blocks the application for dur seconds, accounting the
+// elapsed time into bucket and processing any events that interrupt it.
+// k receives false if a failure voided the activity before dur fully
+// elapsed, true on completion.
+func (a *appSim) blockedWait(dur float64, bucket *float64, k func(ok bool)) {
+	epoch := a.st.Epoch()
+	remaining := dur
+	var step func()
+	step = func() {
+		if remaining <= 0 {
+			k(true)
+			return
+		}
+		start := a.eng.Now()
+		a.wait(remaining, func(interrupted bool) {
+			elapsed := a.eng.Now() - start
+			remaining -= elapsed
+			*bucket += elapsed
+			if !interrupted {
+				k(true)
+				return
+			}
+			a.handleEvents(func() {
+				if a.st.Epoch() != epoch {
+					k(false)
+					return
+				}
+				step()
+			})
+		})
+	}
+	step()
+}
+
+// handleEvents drains the pending queue, then runs k.
+func (a *appSim) handleEvents(k func()) {
+	if len(a.pending) == 0 {
+		k()
+		return
+	}
+	ev := a.pending[0]
+	a.pending = a.pending[1:]
+	next := func() { a.handleEvents(k) }
+	switch ev.Kind {
+	case failure.KindPrediction, failure.KindSpurious:
+		a.onPrediction(ev, next)
+	case failure.KindFailure:
+		a.onFailure(ev, next)
+	default:
+		next()
+	}
+}
+
+// onPrediction records the prediction, marks the node vulnerable, and
+// executes whatever proactive action the model's strategy decides.
+func (a *appSim) onPrediction(ev failure.Event, k func()) {
+	if ev.Kind == failure.KindPrediction {
+		a.st.RecordPrediction(ev.ID, policy.Prediction{Node: ev.Node, FailAt: ev.FailTime, Lead: ev.Lead})
+		if a.cfg.Trace != nil {
+			a.trace(trace.Prediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
+		}
+	} else if a.cfg.Trace != nil {
+		a.trace(trace.SpuriousPrediction, ev.Node, fmt.Sprintf("lead=%.1fs", ev.Lead))
+	}
+	if err := a.cl.MarkVulnerable(ev.Node, ev.FailTime); err == nil {
+		// Clear the vulnerable mark once the predicted failure time has
+		// passed without a newer prediction superseding it.
+		failAt := ev.FailTime
+		node := ev.Node
+		a.eng.At(math.Max(failAt-a.eng.Now(), 0), func() {
+			n := a.cl.Node(node)
+			if n.State == cluster.Vulnerable && n.PredictedFailAt == failAt {
+				a.cl.MarkHealthy(node)
+			}
+		})
+	}
+	switch act := a.pol.OnPrediction(a.st, ev.Node, ev.Lead, a.plat.Theta); act {
+	case policy.ActMigrate:
+		a.startMigration(ev)
+		k()
+	case policy.ActSafeguard:
+		a.safeguard(k)
+	case policy.ActNone:
+		k()
+	default:
+		// Episode actions belong to the p-ckpt models, which Validate
+		// rejects for this tier.
+		panic(fmt.Sprintf("stepsim: unsupported action %d for model %v", act, a.cfg.Model))
+	}
+}
+
+// startMigration begins a live migration. The application keeps running;
+// completion is a scheduled callback.
+func (a *appSim) startMigration(ev failure.Event) {
+	m := a.st.StartMigration(ev)
+	if a.cfg.Trace != nil {
+		a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.plat.Theta))
+	}
+	a.cl.MarkMigrating(ev.Node)
+	a.eng.At(a.plat.Theta, func() {
+		if !a.st.FinishMigration(m) {
+			return
+		}
+		a.res.Migrations++
+		a.trace(trace.MigrationDone, ev.Node, "")
+		// The application dilates slightly while migrating.
+		a.res.Overheads.Checkpoint += a.cfg.LM.DilationSeconds(a.plat.PerNodeGB)
+		if a.cl.Node(ev.Node).State == cluster.Migrating {
+			a.cl.MarkHealthy(ev.Node)
+		}
+		if ev.Kind == failure.KindPrediction {
+			a.st.MarkAvoided(ev.ID)
+			a.res.Avoided++
+			a.st.ForgetPrediction(ev.ID)
+		}
+	})
+}
+
+// safeguard runs M1's just-in-time checkpoint: every node writes to the
+// PFS synchronously, racing the predicted failure. done stands in for
+// crmodel's deferred safeguarding-flag clear: it runs on every exit path
+// before control returns to the caller's continuation.
+func (a *appSim) safeguard(k func()) {
+	if a.safeguarding {
+		k() // the in-flight safeguard covers this prediction too
+		return
+	}
+	a.safeguarding = true
+	done := func() {
+		a.safeguarding = false
+		k()
+	}
+	a.res.ProactiveCkpts++
+	a.trace(trace.SafeguardStart, -1, "")
+	began := a.eng.Now()
+	startProgress := a.progress
+	a.blockedWait(a.plat.FullPFSWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
+		if !ok {
+			done() // the failure won the race (or rolled us back)
+			return
+		}
+		if a.inj.PFSWriteFails() {
+			a.res.PFSWriteFailures++
+			a.trace(trace.SafeguardEnd, -1, "write failed (injected)")
+			done()
+			return
+		}
+		a.commitFullPFS(startProgress)
+		if a.inj.CorruptCommit() {
+			a.st.MarkCorrupt(startProgress)
+		}
+		a.st.MarkRescheduled()
+		a.trace(trace.SafeguardEnd, -1, "")
+		now := a.eng.Now()
+		a.met.safeguardDur.Observe(now - began)
+		if a.plat.FullPFSWrite > 0 {
+			a.met.pfsGBs.Observe(float64(a.plat.Nodes) * a.plat.PerNodeGB / a.plat.FullPFSWrite)
+		}
+		a.st.EachPrediction(func(id int64, pi policy.Prediction) {
+			if pi.FailAt >= now {
+				// The safeguard committed everyone's state before this
+				// pending failure: mitigated.
+				a.st.Mitigate(id, startProgress)
+				a.met.leadConsumed.Observe(now - (pi.FailAt - pi.Lead))
+				a.met.leadMargin.Observe(pi.FailAt - now)
+			}
+		})
+		done()
+	})
+}
+
+// commitFullPFS records a full-application checkpoint at progress q as
+// resident on the PFS.
+func (a *appSim) commitFullPFS(q float64) {
+	if a.st.CommitPFS(q) {
+		a.cl.RecordPFSCheckpointAll(q)
+	}
+}
+
+// onFailure handles a failure striking node ev.Node: classify it, roll
+// progress back, perform recovery, replace the node, then run k.
+func (a *appSim) onFailure(ev failure.Event, k func()) {
+	a.res.Failures++
+	if ev.Lead > 0 {
+		a.res.Predicted++
+	}
+	out := a.pol.OnFailure(a.st, ev)
+	if out.MigrationAborted {
+		a.res.AbortedMigrations++
+	}
+	a.cl.Fail(ev.Node)
+	if out.Mitigated {
+		a.res.Mitigated++
+	}
+	q, fullPFSRestore, corrupted := a.st.ResolveRestart(a.cl.RecoverableProgress(ev.Node), out)
+	if corrupted > 0 {
+		a.res.CorruptRestarts += corrupted
+		a.inj.ObserveCorruptRestarts(corrupted)
+		// The checkpoint records claiming the discarded generations are
+		// lies now; no later restart may try them again.
+		a.cl.ClampCheckpoints(q)
+	}
+	recovery := a.plat.RecoveryBB
+	if fullPFSRestore {
+		recovery = a.plat.RecoveryPFS
+	}
+	loss := 0.0
+	if a.progress > q {
+		loss = a.progress - q
+		a.res.Recompute += loss
+		a.progress = q
+	}
+	a.met.recomputeLoss.Observe(loss)
+	if fullPFSRestore && recovery > 0 {
+		a.met.pfsGBs.Observe(float64(a.plat.Nodes) * a.plat.PerNodeGB / recovery)
+	}
+	if a.cfg.Trace != nil {
+		outcome := "unhandled"
+		if out.Mitigated {
+			outcome = "mitigated"
+		}
+		a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
+	}
+	if err := a.cl.Replace(ev.Node); err != nil {
+		panic(fmt.Sprintf("stepsim: %v", err))
+	}
+	// Recovery mirrors crmodel's retry structure: corrupt candidates cost
+	// a torn read each, cascades void the partial restore, and failed
+	// restart attempts charge deterministic doubling backoff. The nested
+	// `for !blockedWait(...) {}` loops become persistentWait chains.
+	began := a.eng.Now()
+	attempt, cascades := 0, 0
+	finish := func() {
+		if cascades > 0 {
+			a.inj.ObserveCascadeDepth(cascades)
+		}
+		a.met.recoveryDur.Observe(a.eng.Now() - began)
+		a.trace(trace.RecoveryDone, ev.Node, "")
+		k()
+	}
+	var mainLoop func()
+	mainLoop = func() {
+		// CascadeRecovery is drawn every iteration — even at the depth
+		// cap — exactly as the app tier does, to keep the rng plan in
+		// lockstep.
+		if strike, frac := a.inj.CascadeRecovery(); strike && cascades < faultinject.MaxCascadeDepth {
+			cascades++
+			a.res.Cascades++
+			a.persistentWait(frac*recovery, mainLoop)
+			return
+		}
+		a.persistentWait(recovery, func() {
+			fail, backoff := a.inj.RestartAttemptFails(attempt)
+			if !fail {
+				finish()
+				return
+			}
+			attempt++
+			a.res.RestartRetries++
+			if backoff > 0 {
+				a.persistentWait(backoff, mainLoop)
+				return
+			}
+			mainLoop()
+		})
+	}
+	var corruptLoop func(i int)
+	corruptLoop = func(i int) {
+		if i >= corrupted {
+			mainLoop()
+			return
+		}
+		a.persistentWait(recovery, func() { corruptLoop(i + 1) })
+	}
+	corruptLoop(0)
+}
+
+// persistentWait repeats blockedWait(dur) into the recovery bucket until
+// it completes without a voiding failure — the CPS form of crmodel's
+// `for !a.blockedWait(p, dur, &a.res.Overheads.Recovery) {}` loops.
+func (a *appSim) persistentWait(dur float64, k func()) {
+	a.blockedWait(dur, &a.res.Overheads.Recovery, func(ok bool) {
+		if ok {
+			k()
+			return
+		}
+		a.persistentWait(dur, k)
+	})
+}
+
+// injectLoop is the injector "process": it delivers the event stream to
+// the application, skipping failures avoided by completed migrations.
+// It parks (schedules injectResume) for future events and delivers
+// same-time events inline, exactly like crmodel's injector loop.
+func (a *appSim) injectLoop() {
+	for {
+		ev := a.stream.Next()
+		if a.appDone {
+			return
+		}
+		if dt := ev.Time - a.eng.Now(); dt > 0 {
+			ev := ev
+			a.eng.AtNamed(dt, "injector", func() { a.injectResume(ev) })
+			return
+		}
+		a.deliver(ev)
+	}
+}
+
+// injectResume is the injector waking at a delivery time.
+func (a *appSim) injectResume(ev failure.Event) {
+	if a.appDone {
+		return
+	}
+	a.deliver(ev)
+	a.injectLoop()
+}
+
+// deliver classifies one stream event and hands it to the application.
+func (a *appSim) deliver(ev failure.Event) {
+	switch ev.Kind {
+	case failure.KindFailure:
+		if a.st.ConsumeAvoided(ev.ID) {
+			return // live migration emptied the node in time
+		}
+		a.est.Observe()
+	default:
+		if !a.cfg.Model.UsesPrediction() {
+			return // model B ignores the predictor entirely
+		}
+	}
+	a.pending = append(a.pending, ev)
+	a.interrupt()
+}

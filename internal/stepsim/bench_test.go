@@ -1,0 +1,97 @@
+package stepsim_test
+
+import (
+	"testing"
+
+	"pckpt/internal/failure"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/stepsim"
+	"pckpt/internal/workload"
+)
+
+// BenchmarkStepHotPath is the step-tier counterpart of
+// sim.BenchmarkWaitHotPath: one consumer repeatedly sleeping on the
+// clock. In the process engine each wait is a park/unpark pair across a
+// goroutine boundary; here it is a heap push and a function call. The
+// events/sec ratio between the two benches is the tier-0 headroom claim
+// benchfmt tracks.
+func BenchmarkStepHotPath(b *testing.B) {
+	e := stepsim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.At(1, tick)
+		}
+	}
+	e.At(1, tick)
+	b.ResetTimer()
+	e.RunAll()
+	b.StopTimer()
+	if n != b.N {
+		b.Fatalf("dispatched %d events, want %d", n, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	e.Release()
+}
+
+// BenchmarkStepInterrupt measures the cancel-and-reschedule pattern the
+// app port uses for every delivered prediction: park on a long timer,
+// cancel it, run the interrupt path at the current time. The process
+// engine's equivalent is BenchmarkInterruptHeavy.
+func BenchmarkStepInterrupt(b *testing.B) {
+	e := stepsim.NewEngine()
+	n := 0
+	var park func()
+	park = func() {
+		wake := e.AfterCancel(1e9, "sleeper", func() { b.Fatal("long wake fired") })
+		e.AtNamed(1, "interrupter", func() {
+			e.Cancel(wake)
+			n++
+			if n < b.N {
+				e.AtNamed(0, "sleeper", park)
+			}
+		})
+	}
+	e.AtNamed(0, "sleeper", park)
+	b.ResetTimer()
+	e.RunAll()
+	b.StopTimer()
+	if n != b.N {
+		b.Fatalf("ran %d interrupts, want %d", n, b.N)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "interrupts/sec")
+	e.Release()
+}
+
+// BenchmarkStepEngineLifecycle measures pooled construct/run/release —
+// the per-run overhead a sweep pays on top of the event loop.
+func BenchmarkStepEngineLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := stepsim.NewEngine()
+		for j := 0; j < 16; j++ {
+			e.At(float64(j), func() {})
+		}
+		e.RunAll()
+		e.Release()
+	}
+}
+
+// BenchmarkStepSimulate runs the full ported model end to end — the
+// number sweeps actually see, failure stream and policy machinery
+// included.
+func BenchmarkStepSimulate(b *testing.B) {
+	cfg := stepsim.Config{
+		Model: policy.M2,
+		Config: platform.Config{
+			App:    workload.App{Name: "bench-48", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
+			System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepsim.Simulate(cfg, uint64(i)+1)
+	}
+}

@@ -1,0 +1,317 @@
+// Package stepsim is the tier-0 discrete-event engine: a single-goroutine,
+// callback/step-based core decomposed into the three primitives a
+// shared-clock multi-instance loop needs —
+//
+//	HasPendingEvents / PeekNextEventTime / ProcessNextEvent
+//
+// — over the same stable (time, seq) heap the process-based engine
+// (internal/sim) uses. There are no goroutines and no channels: an event
+// is a closure, dispatching one is a function call, and blocking code is
+// written in continuation-passing style (see app.go for the C/R port).
+//
+// The engine reproduces internal/sim's scheduling semantics exactly:
+// simultaneous events fire in schedule order (heap seq tie-break),
+// cancellation is lazy with threshold compaction, scheduling into the
+// past panics, Run(until) advances the clock to the horizon, and an
+// armed watchdog kills livelocked runs with a diagnostic panic. A
+// consumer that schedules the same closures at the same logical points
+// as a process-based run therefore observes the identical event order —
+// which is what lets the step tier cross-validate bit-identically
+// against internal/crmodel (see stepsim_test.go).
+//
+// The decomposition is deliberately the shape inference-sim's
+// ClusterSimulator uses: an external driver can interleave several
+// engines on one shared clock by repeatedly asking each for its next
+// event time and stepping the earliest.
+package stepsim
+
+import (
+	"fmt"
+	"sync"
+
+	"pckpt/internal/queue"
+)
+
+// event is one heap entry: a closure to run at an absolute time.
+// Cancelled entries stay in the heap and are skipped when popped, making
+// timer cancellation O(1).
+type event struct {
+	at        float64 // absolute fire time, mirrored from the heap key
+	fn        func()
+	cancelled bool
+	// name labels the event's owner for watchdog diagnostics.
+	name string
+}
+
+// Timer is a cancellable scheduled event handle (the step-engine
+// equivalent of a parked process's pending wake).
+type Timer struct{ ev *event }
+
+// Engine is the step-based simulation core: a virtual clock plus the
+// pending-event heap. Create one with NewEngine, schedule closures, then
+// drive it with ProcessNextEvent (or Run/RunAll).
+type Engine struct {
+	now    float64
+	events queue.PQ[*event]
+	// free is the event free list: every entry popped from the heap is
+	// recycled, so a steady-state run reuses a small working set.
+	free []*event
+	// ncancelled counts cancelled entries still in the heap; when they
+	// dominate, one compaction pass removes them (same thresholds as
+	// internal/sim, and compaction preserves (key, seq) pop order).
+	ncancelled int
+	// Watchdog limits (see SetWatchdog); zero disables each check.
+	wdMaxEvents uint64
+	wdMaxSim    float64
+	wdEvents    uint64
+	// dispatched counts live events processed since construction.
+	dispatched uint64
+}
+
+// WatchdogError is the panic value ProcessNextEvent raises when an armed
+// watchdog limit trips, mirroring sim.WatchdogError.
+type WatchdogError struct {
+	// Reason says which limit tripped ("event limit" or "sim-time limit").
+	Reason string
+	// Events is how many events had been dispatched when the limit tripped.
+	Events uint64
+	// Now is the simulated time at the trip.
+	Now float64
+	// Name labels the event that tripped the limit.
+	Name string
+}
+
+func (w *WatchdogError) Error() string {
+	return fmt.Sprintf("stepsim: watchdog %s exceeded after %d events at t=%gs (next event: %s)",
+		w.Reason, w.Events, w.Now, w.Name)
+}
+
+// enginePool recycles released engines — principally the event-heap
+// backing array and the free list — across runs of a sweep.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
+// NewEngine returns an empty engine with the clock at zero. It may reuse
+// the buffers of a previously Released engine.
+func NewEngine() *Engine {
+	return enginePool.Get().(*Engine)
+}
+
+// Release hands the engine back for reuse by a later NewEngine. Call it
+// only when the run is over: with events still pending, Release is a
+// no-op and the engine is simply dropped. Using an engine after
+// releasing it is a bug.
+func (e *Engine) Release() {
+	if e.events.Len() != 0 {
+		return
+	}
+	e.now = 0
+	e.ncancelled = 0
+	e.wdMaxEvents = 0
+	e.wdMaxSim = 0
+	e.wdEvents = 0
+	e.dispatched = 0
+	enginePool.Put(e)
+}
+
+// newEvent takes an entry off the free list, or allocates one.
+func (e *Engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEvent zeroes an entry and returns it to the free list. The caller
+// must guarantee no reference survives; dispatch copies the payload
+// before freeing, and a cancelled Timer's handle is dropped by Cancel.
+func (e *Engine) freeEvent(ev *event) {
+	*ev = event{}
+	e.free = append(e.free, ev)
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Dispatched returns how many live events have been processed — the
+// step-rate numerator for benchmarks and throughput accounting.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// schedule pushes an event at an absolute time.
+func (e *Engine) schedule(at float64, ev *event) {
+	if at < e.now {
+		panic(fmt.Sprintf("stepsim: scheduling into the past (at=%g, now=%g)", at, e.now))
+	}
+	ev.at = at
+	e.events.Push(at, ev)
+}
+
+// At runs fn at the given delay from now. fn executes on the driving
+// goroutine and may schedule further events, but must not block.
+func (e *Engine) At(delay float64, fn func()) {
+	ev := e.newEvent()
+	ev.fn = fn
+	e.schedule(e.now+delay, ev)
+}
+
+// AtNamed is At with a diagnostic name attached to the event, reported
+// by watchdog trips.
+func (e *Engine) AtNamed(delay float64, name string, fn func()) {
+	ev := e.newEvent()
+	ev.fn = fn
+	ev.name = name
+	e.schedule(e.now+delay, ev)
+}
+
+// AfterCancel schedules fn like AtNamed and returns a Timer that Cancel
+// can retract — the engine's interruptible wait: a consumer parks by
+// scheduling its continuation on a timer, and an interrupt cancels the
+// timer and schedules the interrupt path at the current time instead.
+func (e *Engine) AfterCancel(delay float64, name string, fn func()) Timer {
+	ev := e.newEvent()
+	ev.fn = fn
+	ev.name = name
+	e.schedule(e.now+delay, ev)
+	return Timer{ev: ev}
+}
+
+// Cancel lazily retracts a scheduled timer, compacting the heap when
+// dead entries reach both an absolute floor and half the heap. Cancelling
+// an already-cancelled or fired timer is a bug the zero handle guards:
+// Cancel on the zero Timer is a no-op.
+func (e *Engine) Cancel(t Timer) {
+	if t.ev == nil || t.ev.cancelled {
+		return
+	}
+	t.ev.cancelled = true
+	e.ncancelled++
+	if e.ncancelled >= 64 && e.ncancelled*2 >= e.events.Len() {
+		e.compact()
+	}
+}
+
+// compact removes every cancelled entry in one pass. Pop order is a pure
+// function of each entry's (key, seq) pair, which compaction preserves.
+func (e *Engine) compact() {
+	e.events.RemoveFunc(func(ev *event) bool {
+		if ev.cancelled {
+			e.freeEvent(ev)
+			return true
+		}
+		return false
+	})
+	e.ncancelled = 0
+}
+
+// settle drops cancelled entries off the heap head so the Peek/Has
+// primitives report the next LIVE event.
+func (e *Engine) settle() {
+	for e.events.Len() > 0 {
+		_, ev, _ := e.events.Peek()
+		if !ev.cancelled {
+			return
+		}
+		e.events.Pop()
+		e.ncancelled--
+		e.freeEvent(ev)
+	}
+}
+
+// HasPendingEvents reports whether any live event remains.
+func (e *Engine) HasPendingEvents() bool {
+	e.settle()
+	return e.events.Len() > 0
+}
+
+// PeekNextEventTime returns the absolute time of the next live event.
+// The boolean is false when no live event remains. A shared-clock driver
+// interleaving several engines peeks each and steps the earliest.
+func (e *Engine) PeekNextEventTime() (float64, bool) {
+	e.settle()
+	if e.events.Len() == 0 {
+		return 0, false
+	}
+	at, _, _ := e.events.Peek()
+	return at, true
+}
+
+// ProcessNextEvent advances the clock to the next live event and runs it.
+// It reports false when no live event remained (the clock is unchanged).
+// The result must not be ignored in driver loops — a discarded false
+// spins forever (cmd/vet-ignored enforces this).
+func (e *Engine) ProcessNextEvent() bool {
+	e.settle()
+	if e.events.Len() == 0 {
+		return false
+	}
+	_, ev := e.events.Pop()
+	e.now = ev.at
+	e.watch(ev)
+	// Copy the payload and recycle the entry up front: fn may schedule
+	// new events that reuse it, and no reference to a dispatched event
+	// survives (Cancel guards fired timers via the cancelled flag only
+	// until this pop).
+	fn := ev.fn
+	e.freeEvent(ev)
+	e.dispatched++
+	fn()
+	return true
+}
+
+// Run processes events until none remain or the clock would pass until.
+// When events remain beyond the horizon, the clock still advances to
+// until — mirroring sim.Env.Run and SimPy's run(until=...) — so Now()
+// afterwards is the horizon. It returns the final simulation time.
+func (e *Engine) Run(until float64) float64 {
+	for {
+		at, ok := e.PeekNextEventTime()
+		if !ok {
+			return e.now
+		}
+		if at > until {
+			e.now = until
+			return e.now
+		}
+		if !e.ProcessNextEvent() {
+			return e.now
+		}
+	}
+}
+
+// RunAll processes events until none remain and returns the final time.
+func (e *Engine) RunAll() float64 {
+	for e.ProcessNextEvent() {
+	}
+	return e.now
+}
+
+// SetWatchdog arms (or, with two zeros, disarms) the watchdog:
+// ProcessNextEvent panics with a *WatchdogError once more than maxEvents
+// events have been dispatched since arming, or once the clock reaches an
+// event past maxSimSeconds. Zero disables the respective limit; the
+// event counter restarts at every call, and Release resets both limits.
+func (e *Engine) SetWatchdog(maxEvents uint64, maxSimSeconds float64) {
+	e.wdMaxEvents = maxEvents
+	e.wdMaxSim = maxSimSeconds
+	e.wdEvents = 0
+}
+
+// watch enforces the armed limits against the live entry about to run.
+func (e *Engine) watch(ev *event) {
+	if e.wdMaxEvents == 0 && e.wdMaxSim == 0 {
+		return
+	}
+	e.wdEvents++
+	name := ev.name
+	if name == "" {
+		name = "(callback)"
+	}
+	if e.wdMaxEvents > 0 && e.wdEvents > e.wdMaxEvents {
+		panic(&WatchdogError{Reason: "event limit", Events: e.wdEvents, Now: e.now, Name: name})
+	}
+	if e.wdMaxSim > 0 && e.now > e.wdMaxSim {
+		panic(&WatchdogError{Reason: "sim-time limit", Events: e.wdEvents, Now: e.now, Name: name})
+	}
+}

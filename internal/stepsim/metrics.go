@@ -1,0 +1,75 @@
+package stepsim
+
+import (
+	"pckpt/internal/cluster"
+	"pckpt/internal/metrics"
+	"pckpt/internal/policy"
+)
+
+// runMetrics is one run's instrument handles, resolved once at Simulate
+// start — the step tier's counterpart of crmodel's set, under the
+// "stepsim.<model>." prefix so step-tier and app-tier distributions stay
+// apart when both are metered in one registry. With metering off every
+// handle is nil and every call is an allocation-free no-op.
+type runMetrics struct {
+	// bbWrite is the wall span the application is blocked per completed
+	// periodic BB checkpoint.
+	bbWrite *metrics.Histogram
+	// safeguardDur is the blocked span per completed M1 safeguard.
+	safeguardDur *metrics.Histogram
+	// recoveryDur is the restart latency per failure; recomputeLoss is
+	// the progress rolled back.
+	recoveryDur   *metrics.Histogram
+	recomputeLoss *metrics.Histogram
+	// pfsGBs is the effective aggregate PFS bandwidth drawn per
+	// collective transfer (safeguards, PFS recoveries).
+	pfsGBs *metrics.Histogram
+	// leadConsumed / leadMargin split each mitigated prediction's lead
+	// time into the part spent reaching safety and the part left over.
+	leadConsumed *metrics.Histogram
+	leadMargin   *metrics.Histogram
+	// drainDepth tracks in-flight BB→PFS drains over sim time; vulnNodes
+	// tracks the vulnerable+migrating population.
+	drainDepth *metrics.Gauge
+	vulnNodes  *metrics.Gauge
+	// bbAborted counts periodic checkpoints voided by failures.
+	bbAborted *metrics.Counter
+}
+
+// newRunMetrics resolves the handle set against r (all nil when r is nil).
+func newRunMetrics(r *metrics.Registry, m policy.ID) runMetrics {
+	if r == nil {
+		return runMetrics{}
+	}
+	p := "stepsim." + m.String() + "."
+	return runMetrics{
+		bbWrite:       r.Histogram(p + "bb_write_seconds"),
+		safeguardDur:  r.Histogram(p + "safeguard_seconds"),
+		recoveryDur:   r.Histogram(p + "recovery_seconds"),
+		recomputeLoss: r.Histogram(p + "recompute_loss_seconds"),
+		pfsGBs:        r.Histogram(p + "pfs_effective_gbps"),
+		leadConsumed:  r.Histogram(p + "lead_consumed_seconds"),
+		leadMargin:    r.Histogram(p + "lead_margin_seconds"),
+		drainDepth:    r.Gauge(p + "drain_queue_depth"),
+		vulnNodes:     r.Gauge(p + "vulnerable_nodes"),
+		bbAborted:     r.Counter(p + "bb_writes_aborted"),
+	}
+}
+
+// observeCluster installs a cluster observer maintaining the
+// vulnerable-node population gauge. Only called when metering is on.
+func (a *appSim) observeCluster() {
+	vuln := 0
+	counted := func(s cluster.State) bool {
+		return s == cluster.Vulnerable || s == cluster.Migrating
+	}
+	a.cl.SetObserver(func(id int, from, to cluster.State) {
+		if counted(from) {
+			vuln--
+		}
+		if counted(to) {
+			vuln++
+		}
+		a.met.vulnNodes.Set(a.eng.Now(), float64(vuln))
+	})
+}

@@ -1,0 +1,177 @@
+package stepsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"pckpt/internal/crmodel"
+	"pckpt/internal/failure"
+	"pckpt/internal/faultinject"
+	"pckpt/internal/metrics"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/stepsim"
+	"pckpt/internal/trace"
+	"pckpt/internal/workload"
+)
+
+// stepModels is the catalogue subset the step tier implements.
+var stepModels = []policy.ID{policy.B, policy.M1, policy.M2}
+
+// testPlatforms is the configuration matrix the bit-identity suite runs:
+// the crossval platform, a degraded platform with every fault knob
+// armed, a stretched-lead variant, and a replayed failure trace — the
+// parametric and replayed halves of the acceptance criterion.
+func testPlatforms() map[string]platform.Config {
+	app := workload.App{Name: "crossval-48", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24}
+	sys := failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48}
+	return map[string]platform.Config{
+		"clean": {App: app, System: sys},
+		"degraded": {App: app, System: sys, Faults: faultinject.Config{
+			BBWriteFailProb:  0.08,
+			PFSWriteFailProb: 0.06,
+			CorruptProb:      0.05,
+			RestartFailProb:  0.10,
+			CascadeProb:      0.07,
+		}},
+		"stretched-leads": {App: app, System: sys, LeadScale: 2.5, FNRate: 0.3, FPRate: 0.25},
+		"replay":          {App: app, System: sys, Replay: testReplay()},
+	}
+}
+
+// testReplay is a hand-written failure trace: predicted, unpredicted,
+// and spurious events, with same-instant collisions to stress the
+// tie-break path.
+func testReplay() *failure.Replay {
+	re := &failure.Replay{
+		Name:           "stepsim-bitid",
+		Nodes:          48,
+		HorizonSeconds: 6 * 3600,
+		Events: []failure.ReplayEvent{
+			{T: 1800, Node: 3, Lead: 600, Seq: 1},
+			{T: 4000, Node: 7, Lead: 0},
+			{T: 4000, Node: 9, Lead: 1200, Seq: 2},
+			{T: 7200, Node: 11, Lead: 90, Seq: 1},
+			{T: 9000, Node: 20, Lead: 300, Seq: 3, Spurious: true},
+			{T: 12000, Node: 20, Lead: 2400, Seq: 3},
+			{T: 15000, Node: 41, Lead: 0},
+			{T: 20000, Node: 5, Lead: 5400, Seq: 2},
+		},
+	}
+	if err := re.Validate(); err != nil {
+		panic(err)
+	}
+	return re
+}
+
+// TestCrossValidationStepBitIdentity is the tentpole's acceptance gate: for
+// every supported model, platform variant, and seed, the step tier's
+// RunResult must equal crmodel's bit for bit — same failure stream, same
+// float arithmetic, same event ordering, same fault plan.
+func TestCrossValidationStepBitIdentity(t *testing.T) {
+	for name, plat := range testPlatforms() {
+		plat := plat
+		t.Run(name, func(t *testing.T) {
+			for _, id := range stepModels {
+				for seed := uint64(1); seed <= 8; seed++ {
+					app := crmodel.Simulate(crmodel.Config{Model: id, Config: plat}, seed)
+					step := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+					if app != step {
+						t.Errorf("%v seed %d: step tier diverged\napp:  %+v\nstep: %+v", id, seed, app, step)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplaySeedInvariant: a replayed run draws nothing from the seed's
+// failure substream, so the step tier — like the app tier — must be
+// bit-identical across seeds in replay mode.
+func TestReplaySeedInvariant(t *testing.T) {
+	plat := testPlatforms()["replay"]
+	for _, id := range stepModels {
+		ref := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, 1)
+		for seed := uint64(2); seed <= 4; seed++ {
+			if got := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed); got != ref {
+				t.Errorf("%v: replayed run depends on seed %d\nref: %+v\ngot: %+v", id, seed, ref, got)
+			}
+		}
+	}
+}
+
+// TestTraceTimelineParity compares the recorded timelines event for
+// event: not just the final accounting but every intermediate state
+// transition must land at the same time, node, and progress.
+func TestTraceTimelineParity(t *testing.T) {
+	plat := testPlatforms()["clean"]
+	for _, id := range stepModels {
+		var appBuf, stepBuf trace.Buffer
+		crmodel.Simulate(crmodel.Config{Model: id, Config: plat, Trace: &appBuf}, 7)
+		stepsim.Simulate(stepsim.Config{Model: id, Config: plat, Trace: &stepBuf}, 7)
+		if appBuf.Len() != stepBuf.Len() {
+			t.Errorf("%v: timeline length %d vs %d", id, appBuf.Len(), stepBuf.Len())
+			continue
+		}
+		for i, ae := range appBuf.Events() {
+			if se := stepBuf.Events()[i]; ae != se {
+				t.Errorf("%v: timeline diverges at entry %d\napp:  %+v\nstep: %+v", id, i, ae, se)
+				break
+			}
+		}
+	}
+}
+
+// TestMeteredRunIdentical: attaching a metrics registry must not change
+// the result (the same contract the app tier keeps), and the step tier's
+// series must land under its own prefix.
+func TestMeteredRunIdentical(t *testing.T) {
+	plat := testPlatforms()["clean"]
+	for _, id := range stepModels {
+		plain := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, 3)
+		reg := metrics.New()
+		metered := stepsim.Simulate(stepsim.Config{Model: id, Config: plat, Metrics: reg}, 3)
+		if plain != metered {
+			t.Errorf("%v: metering changed the result\nplain:   %+v\nmetered: %+v", id, plain, metered)
+		}
+		snap := reg.Snapshot(metered.WallSeconds)
+		prefix := "stepsim." + id.String() + "."
+		found := false
+		for name := range snap.Histograms {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%v: no %q series in the metered snapshot", id, prefix)
+		}
+	}
+}
+
+// TestSupports pins the tier's catalogue subset.
+func TestSupports(t *testing.T) {
+	want := map[policy.ID]bool{policy.B: true, policy.M1: true, policy.M2: true, policy.P1: false, policy.P2: false}
+	for id, w := range want {
+		if got := stepsim.Supports(id); got != w {
+			t.Errorf("Supports(%v) = %t, want %t", id, got, w)
+		}
+	}
+}
+
+// TestValidateRejectsPckptModels: the p-ckpt models need episode
+// machinery this tier deliberately does not implement.
+func TestValidateRejectsPckptModels(t *testing.T) {
+	plat := testPlatforms()["clean"]
+	for _, id := range []policy.ID{policy.P1, policy.P2} {
+		if err := (stepsim.Config{Model: id, Config: plat}).Validate(); err == nil {
+			t.Errorf("Validate accepted unsupported model %v", id)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Simulate on an unsupported model did not panic")
+		}
+	}()
+	stepsim.Simulate(stepsim.Config{Model: policy.P1, Config: plat}, 1)
+}
