@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-update spec-validate cachepass bench bench-step bench-smoke ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-update spec-validate cachepass bench bench-step bench-step-smoke bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -72,17 +72,30 @@ cachepass:
 # sim/queue/nodesim/stepsim substrate micro-benchmarks) and writes the
 # parsed results as a machine-readable artefact; see EXPERIMENTS.md for
 # the schema and how to compare against the committed baseline.
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_LABEL ?= PR7
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_LABEL ?= PR8
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
-# bench-step runs just the tier-0 headroom comparison: the step engine's
-# hot-path/interrupt micro-benches next to the process engine's
-# equivalents (the events/sec ratio is the committed BENCH_PR7 claim).
+# bench-step runs just the step-vs-process headroom comparisons: the
+# step engine's hot-path/interrupt micro-benches next to the process
+# engine's equivalents (the events/sec ratio is the committed BENCH_PR7
+# claim), plus the episode-machinery pair behind the step-tier default
+# for P1/P2 (the commits/sec ratio is the committed BENCH_PR8 claim)
+# and the end-to-end P1/P2 step benches.
 bench-step:
-	$(GO) test -bench 'StepHotPath|StepInterrupt' -run=^$$ ./internal/stepsim
+	$(GO) test -bench 'StepHotPath|StepInterrupt|StepEpisodeDrain|StepSimulateP' -run=^$$ ./internal/stepsim
 	$(GO) test -bench 'WaitHotPath|InterruptHeavy' -run=^$$ ./internal/sim
+	$(GO) test -bench 'EpisodeProcess' -run=^$$ ./internal/pckpt
+
+# bench-step-smoke is the one-iteration variant of bench-step for CI:
+# the episode benches (both engines) and the tier-0 micro-benches run
+# once each, so the headroom pairs cannot rot unnoticed between
+# baseline regenerations.
+bench-step-smoke:
+	$(GO) test -bench 'StepHotPath|StepInterrupt|StepEpisodeDrain|StepSimulateP' -benchtime=1x -run=^$$ ./internal/stepsim
+	$(GO) test -bench 'WaitHotPath|InterruptHeavy' -benchtime=1x -run=^$$ ./internal/sim
+	$(GO) test -bench 'EpisodeProcess' -benchtime=1x -run=^$$ ./internal/pckpt
 
 # bench-smoke runs one iteration of every benchmark (the stepsim
 # micro-benches included) through the same parser, so neither the
@@ -96,15 +109,18 @@ errcheck:
 	$(GO) run ./cmd/vet-ignored ./internal ./cmd
 
 # ci is the full gate: formatting, vet, the ignored-result check (the
-# interruptible sim calls, the fault-injector draws, and bare Validate()
-# statements), build, scenario-spec validation, the FULL race-enabled
-# test suite (no -short: the worker-determinism sweeps and injection
-# bit-identity tests must run raced — they are exactly the tests that
-# catch cross-worker nondeterminism), a dedicated race pass over the
-# tier cross-validation (all three tiers, including the step tier's
-# bit-identity matrix), the golden-table regression suite plus explicit
-# degraded-platform and scenario golden gates, the cold-then-warm cache
-# pass, and a one-iteration benchmark smoke run.
+# interruptible sim calls, the fault-injector draws, bare Validate()
+# statements, and the episode lifecycle hooks), build, scenario-spec
+# validation, the FULL race-enabled test suite (no -short: the
+# worker-determinism sweeps and injection bit-identity tests must run
+# raced — they are exactly the tests that catch cross-worker
+# nondeterminism), a dedicated race pass over the tier cross-validation
+# (all three tiers), a focused race pass over the step tier's
+# bit-identity matrix — all five models, episode machinery included —
+# the golden-table regression suite plus explicit degraded-platform and
+# scenario golden gates, the cold-then-warm cache pass, and
+# one-iteration smoke runs of the full benchmark suite and the
+# step-vs-process headroom pairs.
 ci:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
@@ -113,8 +129,10 @@ ci:
 	$(MAKE) spec-validate
 	$(MAKE) race
 	$(GO) test -run TestCrossValidation -race -timeout 30m ./...
+	$(GO) test -run TestCrossValidationStep -race -timeout 30m ./internal/stepsim
 	$(MAKE) golden
 	$(MAKE) golden-degraded
 	$(MAKE) golden-scenario
 	$(MAKE) cachepass
 	$(MAKE) bench-smoke
+	$(MAKE) bench-step-smoke

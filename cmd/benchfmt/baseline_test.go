@@ -34,3 +34,36 @@ func TestPR7StepRateHeadroom(t *testing.T) {
 		t.Errorf("step-engine headroom %.1f× (%.0f vs %.0f events/sec), want >= 10×", ratio, step, proc)
 	}
 }
+
+// TestPR8EpisodeStepHeadroom extends the headroom gate to the episode
+// machinery behind the step-tier default for P1/P2: one full priority-
+// queue drain on the step engine must commit at least 10× the
+// commits/sec of the same drain on the process-per-node engine (in
+// practice ~40×; 10× is the committed floor). Regenerate BENCH_PR8.json
+// with `make bench` on an intentional perf change.
+func TestPR8EpisodeStepHeadroom(t *testing.T) {
+	f, err := load("../../BENCH_PR8.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	if f.Schema != schema {
+		t.Fatalf("baseline schema %q, want %q", f.Schema, schema)
+	}
+	rate := func(pkg, name string) float64 {
+		for _, b := range f.Benchs {
+			if b.Pkg == pkg && b.Name == name {
+				if v, ok := b.Metrics["commits/sec"]; ok {
+					return v
+				}
+				t.Fatalf("%s.%s has no commits/sec metric", pkg, name)
+			}
+		}
+		t.Fatalf("%s.%s not in baseline", pkg, name)
+		return 0
+	}
+	step := rate("pckpt/internal/stepsim", "BenchmarkStepEpisodeDrain")
+	proc := rate("pckpt/internal/pckpt", "BenchmarkEpisodeProcess")
+	if ratio := step / proc; ratio < 10 {
+		t.Errorf("episode headroom %.1f× (%.0f vs %.0f commits/sec), want >= 10×", ratio, step, proc)
+	}
+}

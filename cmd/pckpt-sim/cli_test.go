@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles the test binary as the pckpt-sim CLI: when re-exec'd
+// with PCKPT_SIM_RUN_MAIN=1 it parses PCKPT_SIM_ARGS (0x1f-separated)
+// and runs main() instead of the test suite, so the CLI tests below
+// exercise the real flag parsing, guards, and exit codes end to end
+// without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("PCKPT_SIM_RUN_MAIN") == "1" {
+		os.Args = append([]string{"pckpt-sim"}, strings.Split(os.Getenv("PCKPT_SIM_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-execs the test binary as the CLI and captures its output
+// and exit code.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"PCKPT_SIM_RUN_MAIN=1",
+		"PCKPT_SIM_ARGS="+strings.Join(args, "\x1f"))
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	err = cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec failed: %v", err)
+	}
+	return out.String(), errBuf.String(), code
+}
+
+const specPath = "../../examples/scenarios/chimera-titan.json"
+
+// TestCLIDefaultTierIsStep: with no -tier, a p-ckpt model runs on the
+// step tier — the default sweep path since the episode port.
+func TestCLIDefaultTierIsStep(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-model", "P1", "-runs", "2", "-baseline=false")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "(step tier") {
+		t.Errorf("default run not on the step tier:\n%s", stdout)
+	}
+}
+
+// TestCLIStepTraceEpisodeModel: -trace works on the step tier for an
+// episode model (the path Validate used to reject).
+func TestCLIStepTraceEpisodeModel(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-tier", "step", "-model", "P2", "-runs", "1", "-baseline=false", "-trace")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "single-run timeline") {
+		t.Errorf("-trace printed no timeline:\n%s", stdout)
+	}
+}
+
+// TestCLIMetricsImpliesAppTier: -metrics without an explicit -tier must
+// bend the step-tier default to the app tier (the only metered engine)
+// instead of erroring.
+func TestCLIMetricsImpliesAppTier(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.json")
+	stdout, stderr, code := runCLI(t, "-model", "P1", "-runs", "2", "-baseline=false", "-metrics", "-metrics-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "(app tier") {
+		t.Errorf("-metrics did not imply the app tier:\n%s", stdout)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("metrics snapshot not written: %v", err)
+	}
+}
+
+// TestCLIMetricsExplicitStepTierErrors: an explicit non-app tier with
+// -metrics is a contradiction the CLI must refuse, not silently bend.
+func TestCLIMetricsExplicitStepTierErrors(t *testing.T) {
+	_, stderr, code := runCLI(t, "-tier", "step", "-model", "P1", "-runs", "2", "-metrics")
+	if code != 2 || !strings.Contains(stderr, "app-tier only") {
+		t.Errorf("exit %d, stderr %q; want exit 2 with app-tier-only error", code, stderr)
+	}
+}
+
+// TestCLITierGuards: unsupported model × tier combinations and unknown
+// tier names exit with context.
+func TestCLITierGuards(t *testing.T) {
+	_, stderr, code := runCLI(t, "-tier", "node", "-model", "M1", "-runs", "1")
+	if code != 2 || !strings.Contains(stderr, "does not implement") {
+		t.Errorf("node×M1: exit %d, stderr %q; want unsupported-model error", code, stderr)
+	}
+	_, stderr, code = runCLI(t, "-tier", "bogus", "-model", "B", "-runs", "1")
+	if code != 2 || !strings.Contains(stderr, "unknown tier") {
+		t.Errorf("bogus tier: exit %d, stderr %q; want unknown-tier error", code, stderr)
+	}
+}
+
+// TestCLISpecRunsOnStepTier: spec mode under the step-tier default runs
+// the full grid; the node tier is refused (spec cache entries are
+// tier-agnostic, so only bit-identical tiers may fill them).
+func TestCLISpecRunsOnStepTier(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-spec", specPath, "-runs", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "2 configurations (2 runs each") {
+		t.Errorf("spec grid header missing:\n%s", stdout)
+	}
+	_, stderr, code = runCLI(t, "-spec", specPath, "-tier", "node", "-runs", "2")
+	if code != 2 || !strings.Contains(stderr, "bit-identical") {
+		t.Errorf("node-tier spec: exit %d, stderr %q; want bit-identity refusal", code, stderr)
+	}
+}
+
+// TestCLISpecFlagPrecedence pins the PR 6 precedence contract at the
+// CLI level: a conflicting selector errors, while an explicitly set
+// numeric flag narrows the spec's plan.
+func TestCLISpecFlagPrecedence(t *testing.T) {
+	_, stderr, code := runCLI(t, "-spec", specPath, "-app", "CHIMERA")
+	if code != 2 || !strings.Contains(stderr, "conflicts with -spec") {
+		t.Errorf("-app with -spec: exit %d, stderr %q; want conflict error", code, stderr)
+	}
+	stdout, stderr, code := runCLI(t, "-spec", specPath, "-model", "M2", "-runs", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "1 configurations (2 runs each") || !strings.Contains(stdout, "M2") {
+		t.Errorf("-model override did not narrow the grid:\n%s", stdout)
+	}
+}

@@ -6,7 +6,12 @@
 //
 //	pckpt-sim -app CHIMERA -model P2 -runs 500
 //	pckpt-sim -app XGC -model M2 -system "LANL System 18" -lead-scale 0.5
-//	pckpt-sim -app CHIMERA -model M2 -tier step
+//	pckpt-sim -app CHIMERA -model M2 -tier app
+//
+// Runs default to the step tier — bit-identical to the app tier on
+// every model, an order of magnitude faster. -tier selects another
+// registered tier; -metrics implies the app tier (the only metered
+// engine) unless -tier was set explicitly.
 package main
 
 import (
@@ -37,7 +42,7 @@ func main() {
 		cacheDir  = flag.String("cache", "", "runcache directory for -spec mode: cells resolve from the cache when present and are flushed to it when simulated")
 		appName   = flag.String("app", "CHIMERA", "application from the Table I catalogue")
 		modelName = flag.String("model", "P2", "C/R model: B, M1, M2, P1, P2")
-		tierName  = flag.String("tier", "app", "simulation tier: "+strings.Join(experiments.TierNames(), ", ")+" (each implements a catalogue subset; see DESIGN.md)")
+		tierName  = flag.String("tier", "step", "simulation tier: "+strings.Join(experiments.TierNames(), ", ")+" (see DESIGN.md; -metrics implies app unless -tier is explicit)")
 		sysName   = flag.String("system", "OLCF Titan", "failure distribution from the Table III catalogue")
 		runs      = flag.Int("runs", 200, "simulation runs to average")
 		seed      = flag.Uint64("seed", 42, "base RNG seed")
@@ -62,6 +67,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	set := explicitFlags()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -74,11 +80,16 @@ func main() {
 	}
 	defer writeMemProfile(*memProfile)
 
+	tier, ok := experiments.TierByName(*tierName)
+	if !ok {
+		exitOn(fmt.Errorf("pckpt-sim: unknown tier %q (have %s)", *tierName, strings.Join(experiments.TierNames(), ", ")))
+	}
+
 	if *specPath != "" {
 		// Spec mode: the spec declares everything; explicitly set flags
 		// override its numeric plan, conflicting selectors error out.
-		exitOn(runSpec(*specPath, *cacheDir, specOverrides{
-			set:        explicitFlags(),
+		exitOn(runSpec(*specPath, *cacheDir, tier, specOverrides{
+			set:        set,
 			model:      *modelName,
 			runs:       *runs,
 			seed:       *seed,
@@ -106,15 +117,16 @@ func main() {
 	exitOn(err)
 	sys, err := failure.SystemByName(*sysName)
 	exitOn(err)
-	tier, ok := experiments.TierByName(*tierName)
-	if !ok {
-		exitOn(fmt.Errorf("pckpt-sim: unknown tier %q (have %s)", *tierName, strings.Join(experiments.TierNames(), ", ")))
+	if *meter && !set["tier"] {
+		// -metrics is app-tier only; an implicit tier choice bends to it
+		// rather than erroring under the step-tier default.
+		tier, _ = experiments.TierByName("app")
 	}
 	if !tier.Supports(model) {
 		exitOn(fmt.Errorf("pckpt-sim: the %s tier does not implement model %s", tier.Name, model))
 	}
 	if *meter && tier.Name != "app" {
-		exitOn(fmt.Errorf("pckpt-sim: -metrics is app-tier only (the tier runner is unmetered); drop -tier"))
+		exitOn(fmt.Errorf("pckpt-sim: -metrics is app-tier only (the tier runner is unmetered); use -tier app or drop -tier"))
 	}
 
 	cfg := crmodel.Config{

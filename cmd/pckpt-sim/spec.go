@@ -3,8 +3,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
-	"pckpt/internal/crmodel"
+	"pckpt/internal/experiments"
 	"pckpt/internal/policy"
 	"pckpt/internal/runcache"
 	"pckpt/internal/scenario"
@@ -93,11 +94,17 @@ func applyOverrides(s *scenario.Spec, ov specOverrides) *scenario.Spec {
 // simulates with the spec's run/seed plan (matching the flag path's seed
 // usage exactly, so a spec mirroring a flag invocation is bit-identical
 // to it), optionally resolving cells from a runcache directory first.
-func runSpec(path, cacheDir string, ov specOverrides) error {
+// Cells run on the selected tier — the step tier by default — which
+// must be bit-identical to the reference: cache keys are tier-agnostic,
+// so a cached cell must not depend on which tier produced it.
+func runSpec(path, cacheDir string, tier experiments.Tier, ov specOverrides) error {
 	for _, name := range specConflicts {
 		if ov.set[name] {
 			return fmt.Errorf("pckpt-sim: -%s conflicts with -spec: the spec declares the cohort, failure source, and output plan; override its numbers with -runs/-seed/-model/-lead-scale/-fn/-fp/-alpha/-inject-*", name)
 		}
+	}
+	if !tier.BitIdentical {
+		return fmt.Errorf("pckpt-sim: spec cells require a tier bit-identical to the reference; the %s tier is not (use -tier app or the default)", tier.Name)
 	}
 	s, err := scenario.Load(path)
 	if err != nil {
@@ -126,7 +133,7 @@ func runSpec(path, cacheDir string, ov specOverrides) error {
 	baseline := map[string]stats.Overheads{}
 	aggs := make([]*stats.Agg, len(cfgs))
 	for i, rc := range cfgs {
-		agg, err := runSpecCell(s, rc, store)
+		agg, err := runSpecCell(s, rc, tier, store)
 		if err != nil {
 			return err
 		}
@@ -162,8 +169,10 @@ func runSpec(path, cacheDir string, ov specOverrides) error {
 // runSpecCell resolves one cell: from the cache when possible, by
 // simulation otherwise. The cell uses the spec's base seed directly for
 // every configuration — the same contract as the flag mode, where the
-// model run and its B baseline share -seed.
-func runSpecCell(s *scenario.Spec, rc scenario.RunConfig, store *runcache.Store) (*stats.Agg, error) {
+// model run and its B baseline share -seed. Simulation runs through the
+// sweep runner: the selected tier does the work and the app tier rides
+// along as a sampled bit-identity cross-check.
+func runSpecCell(s *scenario.Spec, rc scenario.RunConfig, tier experiments.Tier, store *runcache.Store) (*stats.Agg, error) {
 	key := runcache.Key{
 		Experiment:  "pckpt-sim",
 		Label:       s.Name + "|" + rc.Label,
@@ -178,8 +187,8 @@ func runSpecCell(s *scenario.Spec, rc scenario.RunConfig, store *runcache.Store)
 			return agg, nil
 		}
 	}
-	cfg := crmodel.Config{Model: rc.Policy, Config: rc.Platform}
-	agg := crmodel.SimulateN(cfg, s.Runs, s.Seed)
+	agg := experiments.SimulateSweepN(tier, rc.Policy, rc.Platform, s.Runs, s.Seed,
+		runtime.GOMAXPROCS(0), experiments.DefaultCrossCheckStride)
 	if store != nil {
 		if err := store.Put(key, agg, nil); err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pckpt/internal/crmodel"
+	"pckpt/internal/experiments"
 	"pckpt/internal/failure"
 	"pckpt/internal/lm"
 	"pckpt/internal/platform"
@@ -110,10 +111,17 @@ func TestSpecOverridesAndConflicts(t *testing.T) {
 	}
 
 	for _, name := range specConflicts {
-		err := runSpec("../../examples/scenarios/chimera-titan.json", "", specOverrides{set: map[string]bool{name: true}})
+		err := runSpec("../../examples/scenarios/chimera-titan.json", "", experiments.StepTier(), specOverrides{set: map[string]bool{name: true}})
 		if err == nil || !strings.Contains(err.Error(), "conflicts with -spec") {
 			t.Errorf("-%s with -spec: got %v, want conflict error", name, err)
 		}
+	}
+
+	// The node tier only agrees statistically with the reference, so spec
+	// cells — whose cache entries are tier-agnostic — must refuse it.
+	err = runSpec("../../examples/scenarios/chimera-titan.json", "", experiments.NodeTier(), specOverrides{set: map[string]bool{}})
+	if err == nil || !strings.Contains(err.Error(), "bit-identical") {
+		t.Errorf("node-tier spec run: got %v, want bit-identity refusal", err)
 	}
 }
 

@@ -70,6 +70,23 @@ var stepDrivers = map[string]bool{
 	"ProcessNextEvent": true, // stepsim.Engine.ProcessNextEvent
 }
 
+// lifecycleHooks is the policy.State episode surface whose results carry
+// protocol state transitions, not status codes. The step-tier episode
+// continuations call these between engine callbacks, where no compiler
+// or runtime signal marks a dropped result: a bare FinishMigration
+// discards "this migration was already aborted" and double-counts the
+// node; a bare ConsumeAvoided/TakeRescheduled both loses the verdict
+// and still clears the flag, desynchronising the continuation from the
+// state machine. An explicit `_ =` is accepted for the tiers that
+// genuinely don't branch (the statistical tier commits unconditionally).
+var lifecycleHooks = map[string]bool{
+	"FinishMigration": true, // policy.State.FinishMigration
+	"ConsumeAvoided":  true, // policy.State.ConsumeAvoided
+	"TakeRescheduled": true, // policy.State.TakeRescheduled
+	"CommitPFS":       true, // policy.State.CommitPFS
+	"FinishDrain":     true, // policy.State.FinishDrain
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: vet-ignored <dir>...")
@@ -141,6 +158,15 @@ func checkFile(path string) (int, error) {
 		if stepDrivers[name] && len(call.Args) == 0 {
 			pos := fset.Position(call.Pos())
 			fmt.Printf("%s: result of .%s() ignored (a discarded false spins a driver loop on a drained engine)\n",
+				pos, name)
+			bad++
+			return true
+		}
+		if lifecycleHooks[name] {
+			// Episode lifecycle hooks are flagged regardless of arity: the
+			// result is a state transition the continuation must act on.
+			pos := fset.Position(call.Pos())
+			fmt.Printf("%s: result of .%s(...) ignored (an episode state transition drives the continuation; use `_ =` only where the tier genuinely doesn't branch)\n",
 				pos, name)
 			bad++
 			return true

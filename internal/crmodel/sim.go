@@ -7,8 +7,8 @@ import (
 	"pckpt/internal/cluster"
 	"pckpt/internal/failure"
 	"pckpt/internal/faultinject"
-	"pckpt/internal/iomodel"
 	"pckpt/internal/oci"
+	"pckpt/internal/pckpt"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
 	"pckpt/internal/rng"
@@ -23,14 +23,17 @@ import (
 // configured C/R model (internal/policy) deciding every proactive
 // reaction against the shared lifecycle state machine.
 type appSim struct {
-	cfg    Config
-	pol    policy.Policy
-	io     *iomodel.Model
-	env    *sim.Env
-	app    *sim.Proc
-	stream failure.EventSource
-	est    *failure.RateEstimator
-	cl     *cluster.Cluster
+	cfg Config
+	pol policy.Policy
+	// pricing derives the episode's phase-1/phase-2 transfer prices from
+	// the shared pckpt.EpisodePricing, so every tier prices the protocol
+	// with the same float operations (bit-identity across tiers).
+	pricing pckpt.EpisodePricing
+	env     *sim.Env
+	app     *sim.Proc
+	stream  failure.EventSource
+	est     *failure.RateEstimator
+	cl      *cluster.Cluster
 	// inj is the degraded-platform fault plan (nil = perfect platform;
 	// every hook on nil is a no-op).
 	inj *faultinject.Injector
@@ -86,7 +89,6 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	a := &appSim{
 		cfg:   cfg,
 		pol:   policy.For(cfg.Model),
-		io:    cfg.IO,
 		env:   sim.NewEnv(),
 		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
 		cl:    cluster.New(cfg.App.Nodes, math.MaxInt32),
@@ -94,6 +96,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		sigma: cfg.Sigma(),
 		st:    policy.NewState(),
 	}
+	a.pricing = pckpt.NewEpisodePricing(cfg.IO, a.plat.PerNodeGB)
 	a.met = newRunMetrics(cfg.Metrics, cfg.Model)
 	if cfg.Metrics != nil {
 		a.observeCluster()
@@ -344,7 +347,7 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 	})
 	for ep.Q.Len() > 0 && !ep.Abandoned {
 		_, ev := ep.Q.Pop()
-		if !a.blockedWait(p, a.plat.SingleNodePFSWrite, &a.res.Overheads.Checkpoint) {
+		if !a.blockedWait(p, a.pricing.VulnerableWrite, &a.res.Overheads.Checkpoint) {
 			break
 		}
 		if a.inj.PFSWriteFails() {
@@ -353,7 +356,7 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 			// re-enters the lead-time priority queue; otherwise its
 			// prediction goes unserved.
 			a.res.PFSWriteFailures++
-			if ev.Kind == failure.KindPrediction && a.env.Now()+a.plat.SingleNodePFSWrite <= ev.FailTime {
+			if ev.Kind == failure.KindPrediction && a.env.Now()+a.pricing.VulnerableWrite <= ev.FailTime {
 				ep.Q.Push(ev.FailTime, ev)
 			}
 			continue
@@ -380,7 +383,7 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 	// Phase 2: pfs-commit broadcast; healthy nodes write together.
 	healthy := a.plat.Nodes - ep.Committed
 	if healthy > 0 {
-		tr := a.io.PFSWriteTransfer(healthy, a.plat.PerNodeGB)
+		tr := a.pricing.Phase2Transfer(healthy)
 		if !a.blockedWait(p, tr.Seconds, &a.res.Overheads.Checkpoint) {
 			a.met.episodesAbandoned.Inc()
 			return

@@ -74,7 +74,7 @@ func TestCrossValidationExperiment(t *testing.T) {
 			t.Errorf("%s: node wall-clock divergence %.3f, want within 2%%", lbl, d)
 		}
 	}
-	for _, lbl := range []string{"B", "M1", "M2"} {
+	for _, lbl := range []string{"B", "M1", "M2", "P1", "P2"} {
 		if d, ok := r.Values[lbl+"/step/exact-mismatch"]; !ok || d != 0 {
 			t.Errorf("%s: %v seeds diverge bit-wise between app and step tiers", lbl, d)
 		}

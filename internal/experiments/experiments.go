@@ -65,6 +65,18 @@ type Params struct {
 	// degraded sweeps never collide with clean ones; the zero value
 	// leaves every experiment bit-identical to an injection-free build.
 	Faults faultinject.Config
+	// SweepTier names the registry tier experiment sweeps simulate on;
+	// empty selects the step tier. The tier must be bit-identical to the
+	// reference (cache keys are tier-agnostic, so a cached aggregate must
+	// not depend on which tier produced it) — the node tier is therefore
+	// not a valid sweep tier. Distinct from Tiers, which filters the
+	// tiers the crossval experiment compares.
+	SweepTier string
+	// CrossCheckStride re-runs every Nth seed of a sweep configuration on
+	// the reference tier and compares bit for bit (see SimulateSweepN).
+	// Zero selects DefaultCrossCheckStride; negative disables the
+	// cross-check.
+	CrossCheckStride int
 	// Interrupt, when non-nil, aborts the sweep at the next
 	// configuration boundary once closed: already-cached configurations
 	// still resolve, the first un-cached one panics with ErrInterrupted
@@ -164,6 +176,35 @@ func (p Params) apps(defaults ...string) []workload.App {
 	return out
 }
 
+// sweepTier resolves the Params sweep tier: the step tier by default,
+// and never a tier that is not bit-identical to the reference.
+func (p Params) sweepTier() Tier {
+	name := p.SweepTier
+	if name == "" {
+		name = StepTier().Name
+	}
+	t, ok := TierByName(name)
+	if !ok {
+		panic(fmt.Errorf("experiments: unknown sweep tier %q (have %s)", name, strings.Join(TierNames(), ", ")))
+	}
+	if !t.BitIdentical {
+		panic(fmt.Errorf("experiments: tier %q is not bit-identical to the reference and cannot run sweeps (cache keys are tier-agnostic)", name))
+	}
+	return t
+}
+
+// crossCheckStride resolves the Params cross-check density: the default
+// stride when unset, disabled when negative.
+func (p Params) crossCheckStride() int {
+	switch {
+	case p.CrossCheckStride == 0:
+		return DefaultCrossCheckStride
+	case p.CrossCheckStride < 0:
+		return 0
+	}
+	return p.CrossCheckStride
+}
+
 // configSeed derives a deterministic per-configuration seed from the base
 // seed and a label, so adding configurations never perturbs others.
 func configSeed(base uint64, label string) uint64 {
@@ -178,6 +219,10 @@ func configSeed(base uint64, label string) uint64 {
 // runConfig resolves one (model, app, …) configuration: from the cache
 // when possible, by simulation otherwise (metering into p.Metrics when
 // collection is on, and flushing the fresh aggregate back to the cache).
+// Unmetered sweeps run on p's sweep tier — the step tier by default —
+// with the app tier sampled as a bit-identity cross-check; metered
+// sweeps stay on the app tier, whose metric series the collectors and
+// snapshot goldens expect.
 func runConfig(p Params, cfg crmodel.Config, label string) *stats.Agg {
 	if p.Faults.Enabled() && !cfg.Faults.Enabled() {
 		cfg.Faults = p.Faults
@@ -189,7 +234,7 @@ func runConfig(p Params, cfg crmodel.Config, label string) *stats.Agg {
 	p.checkInterrupt()
 	seed := configSeed(p.Seed, label)
 	if p.Metrics == nil {
-		agg := crmodel.SimulateNWorkers(cfg, p.Runs, seed, p.Workers)
+		agg := SimulateSweepN(p.sweepTier(), cfg.Model, cfg.Config, p.Runs, seed, p.Workers, p.crossCheckStride())
 		p.cachePut(key, agg, nil)
 		return agg
 	}

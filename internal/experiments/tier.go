@@ -24,11 +24,18 @@ type Tier struct {
 	// "step"); it must be unique across the Tiers() registry.
 	Name string
 	// Supports reports whether the tier implements the catalogue entry
-	// (the node tier implements the subset with a NodeLabel; the step
-	// tier implements the subset without p-ckpt episodes).
+	// (the node tier implements the subset with a NodeLabel; the app and
+	// step tiers implement the full catalogue).
 	Supports func(id policy.ID) bool
 	// Simulate runs one seed of the model on the shared platform config.
 	Simulate func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult
+	// BitIdentical marks tiers whose RunResults equal the reference
+	// tier's bit for bit on shared seeds. Only such tiers may serve as
+	// the sweep tier: experiment cache keys are tier-agnostic, so a
+	// cached aggregate must be valid no matter which bit-identical tier
+	// produced it. The node tier models at finer granularity and only
+	// agrees statistically, so it stays false.
+	BitIdentical bool
 }
 
 // AppTier is the application-granularity tier; it implements the full
@@ -40,6 +47,7 @@ func AppTier() Tier {
 		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
 			return crmodel.Simulate(crmodel.Config{Model: id, Config: plat}, seed)
 		},
+		BitIdentical: true,
 	}
 }
 
@@ -55,10 +63,12 @@ func NodeTier() Tier {
 	}
 }
 
-// StepTier is the tier-0 step-based engine; it implements the
-// analytic-friendly subset (B, M1, M2) and is bit-identical to the app
-// tier on shared failure streams — same RunResult, not just agreeing
-// statistics (crossval enforces this).
+// StepTier is the tier-0 step-based engine; it implements the full
+// five-model catalogue — p-ckpt episodes included — and is bit-identical
+// to the app tier on shared failure streams — same RunResult, not just
+// agreeing statistics (crossval enforces this). It is the default sweep
+// tier; the app tier rides along as a sampled cross-check (see
+// SimulateSweepN).
 func StepTier() Tier {
 	return Tier{
 		Name:     "step",
@@ -66,6 +76,7 @@ func StepTier() Tier {
 		Simulate: func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
 			return stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
 		},
+		BitIdentical: true,
 	}
 }
 
@@ -165,4 +176,58 @@ func SimulateTierN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed u
 		agg.Add(r)
 	}
 	return agg
+}
+
+// DefaultCrossCheckStride is the sampled cross-check density sweeps use
+// unless overridden: one in every 16 seeds is re-run on the reference
+// tier and compared bit for bit.
+const DefaultCrossCheckStride = 16
+
+// SimulateSweepN is SimulateTierN plus a sampled cross-check: every
+// stride-th seed index is re-simulated on the reference (app) tier and
+// the two RunResults compared bit for bit. It is the sweep path's
+// runner — sweeps default to the step tier for speed, and the sampled
+// reference runs keep the bit-identity contract continuously audited
+// instead of trusted. A divergence panics with a full diagnostic: a
+// tier that has drifted invalidates every cached aggregate it produced,
+// so the sweep must not quietly continue. stride <= 0 disables the
+// cross-check, as does running on the reference tier itself.
+func SimulateSweepN(t Tier, id policy.ID, plat platform.Config, n int, baseSeed uint64, workers, stride int) *stats.Agg {
+	agg := SimulateTierN(t, id, plat, n, baseSeed, workers)
+	if ref := AppTier(); stride > 0 && t.Name != ref.Name {
+		crossCheckSampled(t, ref, id, plat, n, baseSeed, stride)
+	}
+	return agg
+}
+
+// crossCheckSampled compares t against ref on seed indices 0, stride,
+// 2·stride, … and panics on the first bit difference. A run that panics
+// identically on both tiers is tolerated — the sweep aggregate already
+// ledgers it as a failed run — but a panic on only one tier is itself a
+// divergence.
+func crossCheckSampled(t, ref Tier, id policy.ID, plat platform.Config, n int, baseSeed uint64, stride int) {
+	safe := func(tier Tier, seed uint64) (r stats.RunResult, failure string) {
+		defer func() {
+			if p := recover(); p != nil {
+				failure = fmt.Sprint(p)
+			}
+		}()
+		return tier.Simulate(id, plat, seed), ""
+	}
+	for i := 0; i < n; i += stride {
+		seed := crmodel.RunSeed(baseSeed, i)
+		got, gotFail := safe(t, seed)
+		want, wantFail := safe(ref, seed)
+		if gotFail != "" || wantFail != "" {
+			if gotFail != "" && wantFail != "" {
+				continue
+			}
+			panic(fmt.Sprintf("experiments: tier %q diverged from %q at run %d (seed %#x) model=%s app=%s: %q panic=%q, %q panic=%q",
+				t.Name, ref.Name, i, seed, id, plat.App.Name, t.Name, gotFail, ref.Name, wantFail))
+		}
+		if got != want {
+			panic(fmt.Sprintf("experiments: tier %q diverged from %q at run %d (seed %#x) model=%s app=%s\n%s: %+v\n%s: %+v",
+				t.Name, ref.Name, i, seed, id, plat.App.Name, t.Name, got, ref.Name, want))
+		}
+	}
 }

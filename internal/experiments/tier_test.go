@@ -6,10 +6,12 @@ import (
 	"testing"
 
 	"pckpt/internal/crmodel"
+	"pckpt/internal/failure"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
 	"pckpt/internal/runcache"
 	"pckpt/internal/stats"
+	"pckpt/internal/stepsim"
 	"pckpt/internal/workload"
 )
 
@@ -154,7 +156,7 @@ func TestTierRegistry(t *testing.T) {
 		// per policy.All() order: B, M1, M2, P1, P2
 		"app":  {true, true, true, true, true},
 		"node": {true, false, false, true, true},
-		"step": {true, true, true, false, false},
+		"step": {true, true, true, true, true},
 	}
 	for _, tr := range ts {
 		for i, id := range policy.All() {
@@ -162,6 +164,102 @@ func TestTierRegistry(t *testing.T) {
 				t.Errorf("%s.Supports(%v) = %t, want %t", tr.Name, id, got, want[tr.Name][i])
 			}
 		}
+	}
+	bitID := map[string]bool{"app": true, "node": false, "step": true}
+	for _, tr := range ts {
+		if tr.BitIdentical != bitID[tr.Name] {
+			t.Errorf("%s.BitIdentical = %t, want %t", tr.Name, tr.BitIdentical, bitID[tr.Name])
+		}
+	}
+}
+
+// TestSweepTierDefaults pins the sweep-path routing: sweeps default to
+// the step tier, an explicit tier resolves by registry name, unknown
+// names and non-bit-identical tiers refuse with context.
+func TestSweepTierDefaults(t *testing.T) {
+	if got := (Params{}).sweepTier(); got.Name != "step" {
+		t.Errorf("default sweep tier = %q, want step", got.Name)
+	}
+	if got := (Params{SweepTier: "app"}).sweepTier(); got.Name != "app" {
+		t.Errorf("explicit sweep tier = %q, want app", got.Name)
+	}
+	mustPanic := func(p Params, frag string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("SweepTier=%q did not panic", p.SweepTier)
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), frag) {
+				t.Errorf("SweepTier=%q panic %v lacks %q", p.SweepTier, r, frag)
+			}
+		}()
+		p.sweepTier()
+	}
+	mustPanic(Params{SweepTier: "bogus"}, "unknown sweep tier")
+	mustPanic(Params{SweepTier: "node"}, "not bit-identical")
+
+	if got := (Params{}).crossCheckStride(); got != DefaultCrossCheckStride {
+		t.Errorf("default cross-check stride = %d, want %d", got, DefaultCrossCheckStride)
+	}
+	if got := (Params{CrossCheckStride: 5}).crossCheckStride(); got != 5 {
+		t.Errorf("explicit cross-check stride = %d, want 5", got)
+	}
+	if got := (Params{CrossCheckStride: -1}).crossCheckStride(); got != 0 {
+		t.Errorf("negative cross-check stride = %d, want 0 (disabled)", got)
+	}
+}
+
+// TestSimulateSweepNCrossCheck plants a fake tier that silently drifts
+// from the reference on one sampled seed: the sweep must panic with a
+// diagnostic naming both tiers, not return the drifted aggregate. A
+// matching result on every sampled seed must pass, and stride <= 0 must
+// skip the cross-check entirely.
+func TestSimulateSweepNCrossCheck(t *testing.T) {
+	plat := platform.Config{
+		App:    workload.App{Name: "crossval-48", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
+		System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48},
+	}
+	honest := StepTier()
+	honest.Name = "fake-honest"
+	if agg := SimulateSweepN(honest, policy.P1, plat, 4, 3, 2, 2); agg.N() != 4 {
+		t.Fatalf("honest tier: %d runs, want 4", agg.N())
+	}
+
+	driftSeed := crmodel.RunSeed(3, 2)
+	drift := StepTier()
+	drift.Name = "fake-drift"
+	drift.Simulate = func(id policy.ID, plat platform.Config, seed uint64) stats.RunResult {
+		r := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+		if seed == driftSeed {
+			r.WallSeconds++
+		}
+		return r
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("drifted tier passed the cross-check")
+			}
+			msg := fmt.Sprint(r)
+			for _, frag := range []string{"fake-drift", "diverged", "app"} {
+				if !strings.Contains(msg, frag) {
+					t.Errorf("divergence panic %q lacks %q", msg, frag)
+				}
+			}
+		}()
+		SimulateSweepN(drift, policy.P1, plat, 4, 3, 2, 2)
+	}()
+
+	// stride 3 samples indices 0 and 3 only — the drift at index 2 is
+	// never compared, so the sweep completes; stride 0 skips outright.
+	if agg := SimulateSweepN(drift, policy.P1, plat, 4, 3, 2, 3); agg.N() != 4 {
+		t.Fatalf("unsampled drift: %d runs, want 4", agg.N())
+	}
+	if agg := SimulateSweepN(drift, policy.P1, plat, 4, 3, 2, 0); agg.N() != 4 {
+		t.Fatalf("stride 0: %d runs, want 4", agg.N())
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/faultinject"
 	"pckpt/internal/metrics"
+	"pckpt/internal/pckpt"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
 	"pckpt/internal/rng"
@@ -147,7 +148,6 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		cfg:   cfg,
 		pol:   policy.For(cfg.Policy),
 		env:   env,
-		io:    cfg.IO,
 		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
 		plat:  cfg.Derive(),
 		sigma: cfg.Sigma(),
@@ -155,6 +155,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		lane:  sim.NewResource(env, 1),
 	}
 	c.allDone = sim.NewEvent(env)
+	c.pricing = pckpt.NewEpisodePricing(cfg.IO, c.plat.PerNodeGB)
 
 	c.met = newNodeMetrics(cfg.Metrics, cfg.Policy)
 	src := rng.New(seed)

@@ -112,7 +112,7 @@ func (c *cluster) bbPhase(p *sim.Proc) {
 				c.res.PFSWriteFailures++
 				return
 			}
-			c.st.CommitPFS(captured)
+			_ = c.st.CommitPFS(captured) // statistical tier: no branch on placement advance
 		}
 	})
 }
@@ -179,7 +179,7 @@ func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
 			return // episode abandoned while queued
 		}
 		c.met.laneWait.Observe(c.env.Now() - posted)
-		err := p.Wait(c.plat.SingleNodePFSWrite)
+		err := p.Wait(c.pricing.VulnerableWrite)
 		c.lane.Release()
 		if err != nil {
 			return // aborted mid-write
@@ -190,7 +190,7 @@ func (c *cluster) vulnWrite(p *sim.Proc, n *node, cmd command) {
 			// deadline, so the same lead-time priority); otherwise the
 			// prediction goes unserved.
 			c.res.PFSWriteFailures++
-			if c.env.Now()+c.plat.SingleNodePFSWrite <= cmd.deadline {
+			if c.env.Now()+c.pricing.VulnerableWrite <= cmd.deadline {
 				continue
 			}
 			return
@@ -264,7 +264,7 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 	// Phase 2: pfs-commit broadcast; every remaining node writes.
 	healthy := len(c.nodes) - ep.Committed
 	if healthy > 0 {
-		tr := c.io.PFSWriteTransfer(healthy, c.plat.PerNodeGB)
+		tr := c.pricing.Phase2Transfer(healthy)
 		for _, n := range c.nodes {
 			if !n.busy {
 				c.post(n, command{kind: cmdBulkWrite, dur: tr.Seconds})
@@ -286,7 +286,7 @@ func (c *cluster) runEpisode(p *sim.Proc, first failure.Event) {
 			// those nodes' states did reach the PFS).
 			c.res.PFSWriteFailures++
 		} else {
-			c.st.CommitPFS(ep.StartProgress)
+			_ = c.st.CommitPFS(ep.StartProgress) // statistical tier: no branch on placement advance
 			if c.inj.CorruptCommit() {
 				c.st.MarkCorrupt(ep.StartProgress)
 			}

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sort"
+
 	"pckpt/internal/failure"
 	"pckpt/internal/queue"
 )
@@ -152,9 +154,18 @@ func (s *State) FinishMigration(m *Migration) bool {
 // AbortMigrations cancels every in-flight migration (a p-ckpt request
 // supersedes them per the Fig. 5 state diagram), invoking each for every
 // cancelled migration's originating event so the tier can account the
-// abort and requeue the node as vulnerable.
+// abort and requeue the node as vulnerable. Visits are in ascending node
+// order — not map order — so the requeue order (and with it trace
+// timelines and deadline-tie resolution) is identical on every tier and
+// every run.
 func (s *State) AbortMigrations(each func(ev failure.Event)) {
-	for node, m := range s.migrations {
+	nodes := make([]int, 0, len(s.migrations))
+	for node := range s.migrations {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		m := s.migrations[node]
 		m.Aborted = true
 		delete(s.migrations, node)
 		each(m.Ev)

@@ -9,6 +9,7 @@ import (
 	"pckpt/internal/faultinject"
 	"pckpt/internal/metrics"
 	"pckpt/internal/oci"
+	"pckpt/internal/pckpt"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
 	"pckpt/internal/rng"
@@ -18,10 +19,9 @@ import (
 
 // Config parameterises one step-tier simulation: the model under test,
 // the shared platform configuration, and this tier's observers. It is
-// the same shape as crmodel.Config restricted to the analytic-friendly
-// catalogue subset (B, M1, M2 — the models whose proactive reactions are
-// a background callback or a single blocking write, with no p-ckpt
-// episode machinery).
+// the same shape as crmodel.Config and covers the full catalogue — the
+// p-ckpt episode machinery (P1/P2) runs here as a continuation chain,
+// bit-identical to the app tier's process form.
 type Config struct {
 	// Model is the C/R policy to simulate. Must satisfy Supports.
 	Model policy.ID
@@ -34,9 +34,9 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
-// Supports reports whether the step tier implements the catalogue entry:
-// the subset without p-ckpt episodes (B, M1, M2).
-func Supports(id policy.ID) bool { return id.Valid() && !id.UsesPckpt() }
+// Supports reports whether the step tier implements the catalogue
+// entry: the full catalogue (B, M1, M2, P1, P2).
+func Supports(id policy.ID) bool { return id.Valid() }
 
 // withDefaults returns a copy with zero platform fields defaulted.
 func (c Config) withDefaults() Config {
@@ -48,9 +48,6 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	if !c.Model.Valid() {
 		return fmt.Errorf("stepsim: invalid model %d", uint8(c.Model))
-	}
-	if !Supports(c.Model) {
-		return fmt.Errorf("stepsim: model %v needs p-ckpt episodes, outside the step tier's subset", c.Model)
 	}
 	return c.Config.Validate()
 }
@@ -85,6 +82,10 @@ type appSim struct {
 
 	plat  platform.Derived
 	sigma float64
+	// pricing derives the episode's phase-1/phase-2 transfer prices from
+	// the shared pckpt.EpisodePricing (identical float operations across
+	// tiers).
+	pricing pckpt.EpisodePricing
 
 	progress float64
 	curOCI   float64
@@ -141,6 +142,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		sigma: cfg.Sigma(),
 		st:    policy.NewState(),
 	}
+	a.pricing = pckpt.NewEpisodePricing(cfg.IO, a.plat.PerNodeGB)
 	a.met = newRunMetrics(cfg.Metrics, cfg.Model)
 	if cfg.Metrics != nil {
 		a.observeCluster()
@@ -397,18 +399,140 @@ func (a *appSim) onPrediction(ev failure.Event, k func()) {
 		})
 	}
 	switch act := a.pol.OnPrediction(a.st, ev.Node, ev.Lead, a.plat.Theta); act {
+	case policy.ActJoinEpisode:
+		// Phase 1 in progress: the new vulnerable node joins the
+		// node-local priority queue (lower lead = higher priority).
+		a.st.Episode().Q.Push(ev.FailTime, ev)
+		k()
 	case policy.ActMigrate:
 		a.startMigration(ev)
 		k()
+	case policy.ActStartEpisode:
+		a.pckptEpisode(ev, k)
 	case policy.ActSafeguard:
 		a.safeguard(k)
 	case policy.ActNone:
 		k()
 	default:
-		// Episode actions belong to the p-ckpt models, which Validate
-		// rejects for this tier.
 		panic(fmt.Sprintf("stepsim: unsupported action %d for model %v", act, a.cfg.Model))
 	}
+}
+
+// pckptEpisode runs one coordinated prioritized checkpoint: phase 1
+// serves vulnerable nodes serially by lead-time priority with
+// uncontended PFS access; phase 2 commits the remaining nodes at
+// aggregate bandwidth. The application is blocked throughout (healthy
+// nodes wait). A failure during the episode abandons the remainder.
+//
+// This is crmodel's pckptEpisode in continuation-passing style: the
+// drain loop becomes a recursive continuation, `break` and the deferred
+// EndEpisode become the finish/done continuations, and every injector
+// draw, metric observation, and trace record keeps its statement order
+// — which is what holds the port bit-identical to the app tier.
+func (a *appSim) pckptEpisode(first failure.Event, k func()) {
+	a.res.ProactiveCkpts++
+	a.trace(trace.EpisodeStart, first.Node, "")
+	epBegin := a.eng.Now()
+	ep := a.st.BeginEpisode(a.progress)
+	done := func() { // crmodel's `defer a.st.EndEpisode()`
+		a.st.EndEpisode()
+		k()
+	}
+	ep.Q.Push(first.FailTime, first)
+	// A p-ckpt request supersedes in-flight migrations (Fig. 5): abort
+	// them and requeue their nodes as vulnerable.
+	a.st.AbortMigrations(func(ev failure.Event) {
+		a.res.AbortedMigrations++
+		a.trace(trace.MigrationAborted, ev.Node, "superseded by p-ckpt")
+		if a.cl.Node(ev.Node).State == cluster.Migrating {
+			a.cl.MarkVulnerable(ev.Node, ev.FailTime)
+		}
+		ep.Q.Push(ev.FailTime, ev)
+	})
+	finish := func() { // everything after crmodel's drain loop
+		if ep.Abandoned {
+			a.met.episodesAbandoned.Inc()
+			done()
+			return
+		}
+		commit := func() {
+			if a.inj.PFSWriteFails() {
+				// The phase-2 collective write failed: the episode's full
+				// checkpoint never commits (phase-1 mitigations stand —
+				// those nodes' states did reach the PFS).
+				a.res.PFSWriteFailures++
+			} else {
+				a.commitFullPFS(ep.StartProgress)
+				if a.inj.CorruptCommit() {
+					a.st.MarkCorrupt(ep.StartProgress)
+				}
+				a.st.MarkRescheduled()
+			}
+			a.met.episodeDur.Observe(a.eng.Now() - epBegin)
+			if a.cfg.Trace != nil {
+				a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.eng.Now()-epBegin, ep.Committed))
+			}
+			done()
+		}
+		// Phase 2: pfs-commit broadcast; healthy nodes write together.
+		healthy := a.plat.Nodes - ep.Committed
+		if healthy > 0 {
+			tr := a.pricing.Phase2Transfer(healthy)
+			a.blockedWait(tr.Seconds, &a.res.Overheads.Checkpoint, func(ok bool) {
+				if !ok {
+					a.met.episodesAbandoned.Inc()
+					done()
+					return
+				}
+				a.met.pfsGBs.Observe(tr.GBs)
+				commit()
+			})
+			return
+		}
+		commit()
+	}
+	var drain func()
+	drain = func() {
+		if ep.Q.Len() == 0 || ep.Abandoned {
+			finish()
+			return
+		}
+		_, ev := ep.Q.Pop()
+		a.blockedWait(a.pricing.VulnerableWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
+			if !ok {
+				finish() // the failure that voided the wait abandoned ep
+				return
+			}
+			if a.inj.PFSWriteFails() {
+				// The vulnerable node's prioritized write tore. If the
+				// remaining lead time still covers another attempt, the
+				// node re-enters the lead-time priority queue; otherwise
+				// its prediction goes unserved.
+				a.res.PFSWriteFailures++
+				if ev.Kind == failure.KindPrediction && a.eng.Now()+a.pricing.VulnerableWrite <= ev.FailTime {
+					ep.Q.Push(ev.FailTime, ev)
+				}
+				drain()
+				return
+			}
+			ep.Committed++
+			a.met.commitLat.Observe(a.eng.Now() - epBegin)
+			a.trace(trace.VulnerableCommit, ev.Node, "")
+			a.cl.RecordPFSCheckpoint(ev.Node, ep.StartProgress)
+			if a.cl.Node(ev.Node).State == cluster.Vulnerable {
+				a.cl.MarkHealthy(ev.Node)
+			}
+			if ev.Kind == failure.KindPrediction && a.eng.Now() <= ev.FailTime {
+				// The vulnerable node's state reached the PFS before its
+				// failure: the failure is mitigated.
+				a.st.Mitigate(ev.ID, ep.StartProgress)
+				a.met.leadConsumed.Observe(a.eng.Now() - (ev.FailTime - ev.Lead))
+				a.met.leadMargin.Observe(ev.FailTime - a.eng.Now())
+			}
+			drain()
+		})
+	}
+	drain()
 }
 
 // startMigration begins a live migration. The application keeps running;

@@ -6,6 +6,7 @@ import (
 	"pckpt/internal/failure"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
+	"pckpt/internal/queue"
 	"pckpt/internal/stepsim"
 	"pckpt/internal/workload"
 )
@@ -79,17 +80,88 @@ func BenchmarkStepEngineLifecycle(b *testing.B) {
 	}
 }
 
+// BenchmarkStepEpisodeDrain is the step-tier counterpart of
+// pckpt.BenchmarkEpisodeProcess: one full episode drain per iteration
+// in the exact shape the episode port uses — arrivals push into a
+// lead-time priority queue, an idle check kicks the arbiter, and every
+// grant is a heap pop plus a w-second continuation. Same 16-node
+// scenario shape as the process bench; the commits/sec ratio between
+// the two is the episode-machinery headroom claim benchfmt gates on.
+func BenchmarkStepEpisodeDrain(b *testing.B) {
+	const (
+		k = 16
+		w = 1.5
+	)
+	commits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := stepsim.NewEngine()
+		var q queue.PQ[int]
+		busy := false
+		var grant func()
+		grant = func() {
+			if q.Len() == 0 {
+				busy = false
+				return
+			}
+			busy = true
+			q.Pop()
+			commits++
+			e.At(w, grant)
+		}
+		for j := 0; j < k; j++ {
+			node := 1 + j*3
+			deadline := float64((j*7)%k + 2)
+			e.At(0.5*w*float64(j), func() {
+				q.Push(deadline, node)
+				if !busy {
+					grant()
+				}
+			})
+		}
+		e.RunAll()
+		e.Release()
+	}
+	b.StopTimer()
+	if commits != k*b.N {
+		b.Fatalf("committed %d nodes, want %d", commits, k*b.N)
+	}
+	b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/sec")
+}
+
+// benchPlatform is the 48-node cohort every full-model bench runs on.
+func benchPlatform() platform.Config {
+	return platform.Config{
+		App:    workload.App{Name: "bench-48", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
+		System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48},
+	}
+}
+
 // BenchmarkStepSimulate runs the full ported model end to end — the
 // number sweeps actually see, failure stream and policy machinery
 // included.
 func BenchmarkStepSimulate(b *testing.B) {
-	cfg := stepsim.Config{
-		Model: policy.M2,
-		Config: platform.Config{
-			App:    workload.App{Name: "bench-48", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
-			System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 40, Nodes: 48},
-		},
+	cfg := stepsim.Config{Model: policy.M2, Config: benchPlatform()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepsim.Simulate(cfg, uint64(i)+1)
 	}
+}
+
+// BenchmarkStepSimulateP1 and BenchmarkStepSimulateP2 track the episode
+// models end to end on the step tier — the sweep-facing numbers behind
+// the default-tier flip. Informational: the gated claim is the
+// micro-bench pair above.
+func BenchmarkStepSimulateP1(b *testing.B) {
+	cfg := stepsim.Config{Model: policy.P1, Config: benchPlatform()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepsim.Simulate(cfg, uint64(i)+1)
+	}
+}
+
+func BenchmarkStepSimulateP2(b *testing.B) {
+	cfg := stepsim.Config{Model: policy.P2, Config: benchPlatform()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stepsim.Simulate(cfg, uint64(i)+1)

@@ -15,6 +15,11 @@ type runMetrics struct {
 	// bbWrite is the wall span the application is blocked per completed
 	// periodic BB checkpoint.
 	bbWrite *metrics.Histogram
+	// episodeDur / commitLat cover p-ckpt episodes: total blocked span
+	// per completed episode, and per-vulnerable-node commit latency from
+	// episode start to the node's prioritized PFS commit.
+	episodeDur *metrics.Histogram
+	commitLat  *metrics.Histogram
 	// safeguardDur is the blocked span per completed M1 safeguard.
 	safeguardDur *metrics.Histogram
 	// recoveryDur is the restart latency per failure; recomputeLoss is
@@ -32,8 +37,10 @@ type runMetrics struct {
 	// tracks the vulnerable+migrating population.
 	drainDepth *metrics.Gauge
 	vulnNodes  *metrics.Gauge
-	// bbAborted counts periodic checkpoints voided by failures.
-	bbAborted *metrics.Counter
+	// bbAborted counts periodic checkpoints voided by failures;
+	// episodesAbandoned counts p-ckpt episodes cut short the same way.
+	bbAborted         *metrics.Counter
+	episodesAbandoned *metrics.Counter
 }
 
 // newRunMetrics resolves the handle set against r (all nil when r is nil).
@@ -43,16 +50,19 @@ func newRunMetrics(r *metrics.Registry, m policy.ID) runMetrics {
 	}
 	p := "stepsim." + m.String() + "."
 	return runMetrics{
-		bbWrite:       r.Histogram(p + "bb_write_seconds"),
-		safeguardDur:  r.Histogram(p + "safeguard_seconds"),
-		recoveryDur:   r.Histogram(p + "recovery_seconds"),
-		recomputeLoss: r.Histogram(p + "recompute_loss_seconds"),
-		pfsGBs:        r.Histogram(p + "pfs_effective_gbps"),
-		leadConsumed:  r.Histogram(p + "lead_consumed_seconds"),
-		leadMargin:    r.Histogram(p + "lead_margin_seconds"),
-		drainDepth:    r.Gauge(p + "drain_queue_depth"),
-		vulnNodes:     r.Gauge(p + "vulnerable_nodes"),
-		bbAborted:     r.Counter(p + "bb_writes_aborted"),
+		bbWrite:           r.Histogram(p + "bb_write_seconds"),
+		episodeDur:        r.Histogram(p + "episode_seconds"),
+		commitLat:         r.Histogram(p + "episode_commit_latency_seconds"),
+		safeguardDur:      r.Histogram(p + "safeguard_seconds"),
+		recoveryDur:       r.Histogram(p + "recovery_seconds"),
+		recomputeLoss:     r.Histogram(p + "recompute_loss_seconds"),
+		pfsGBs:            r.Histogram(p + "pfs_effective_gbps"),
+		leadConsumed:      r.Histogram(p + "lead_consumed_seconds"),
+		leadMargin:        r.Histogram(p + "lead_margin_seconds"),
+		drainDepth:        r.Gauge(p + "drain_queue_depth"),
+		vulnNodes:         r.Gauge(p + "vulnerable_nodes"),
+		bbAborted:         r.Counter(p + "bb_writes_aborted"),
+		episodesAbandoned: r.Counter(p + "episodes_abandoned"),
 	}
 }
 

@@ -15,8 +15,9 @@ import (
 	"pckpt/internal/workload"
 )
 
-// stepModels is the catalogue subset the step tier implements.
-var stepModels = []policy.ID{policy.B, policy.M1, policy.M2}
+// stepModels is the catalogue the step tier implements — all five
+// models, episode machinery included.
+var stepModels = []policy.ID{policy.B, policy.M1, policy.M2, policy.P1, policy.P2}
 
 // testPlatforms is the configuration matrix the bit-identity suite runs:
 // the crossval platform, a degraded platform with every fault knob
@@ -149,29 +150,30 @@ func TestMeteredRunIdentical(t *testing.T) {
 	}
 }
 
-// TestSupports pins the tier's catalogue subset.
+// TestSupports pins the tier's catalogue: the full five-model set since
+// the episode port, and still a hard no on invalid IDs.
 func TestSupports(t *testing.T) {
-	want := map[policy.ID]bool{policy.B: true, policy.M1: true, policy.M2: true, policy.P1: false, policy.P2: false}
-	for id, w := range want {
-		if got := stepsim.Supports(id); got != w {
-			t.Errorf("Supports(%v) = %t, want %t", id, got, w)
+	for _, id := range policy.All() {
+		if !stepsim.Supports(id) {
+			t.Errorf("Supports(%v) = false, want true", id)
 		}
+	}
+	if stepsim.Supports(policy.ID(250)) {
+		t.Error("Supports accepted an invalid model ID")
 	}
 }
 
-// TestValidateRejectsPckptModels: the p-ckpt models need episode
-// machinery this tier deliberately does not implement.
-func TestValidateRejectsPckptModels(t *testing.T) {
+// TestValidateRejectsInvalidModel: Validate must still refuse a model
+// outside the catalogue (the old episode guard is gone; the catalogue
+// check is not).
+func TestValidateRejectsInvalidModel(t *testing.T) {
 	plat := testPlatforms()["clean"]
-	for _, id := range []policy.ID{policy.P1, policy.P2} {
-		if err := (stepsim.Config{Model: id, Config: plat}).Validate(); err == nil {
-			t.Errorf("Validate accepted unsupported model %v", id)
+	if err := (stepsim.Config{Model: policy.ID(250), Config: plat}).Validate(); err == nil {
+		t.Error("Validate accepted an invalid model ID")
+	}
+	for _, id := range policy.All() {
+		if err := (stepsim.Config{Model: id, Config: plat}).Validate(); err != nil {
+			t.Errorf("Validate rejected catalogue model %v: %v", id, err)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Simulate on an unsupported model did not panic")
-		}
-	}()
-	stepsim.Simulate(stepsim.Config{Model: policy.P1, Config: plat}, 1)
 }
