@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-update spec-validate cachepass bench bench-step bench-step-smoke bench-smoke ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-contention golden-update spec-validate cachepass race-machine bench bench-step bench-step-smoke bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ golden-degraded:
 golden-scenario:
 	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/scenario' ./internal/experiments
 
+# golden-contention gates just the multi-tenant contention experiment:
+# its golden pins per-tenant slowdown/queue-wait/starvation under the
+# shared bandwidth arbiter, so any drift in arbiter pricing, admission
+# order, or the offset-start clock identity shows up as a cell diff.
+golden-contention:
+	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/contention' ./internal/experiments
+
 # spec-validate checks every committed scenario spec and failure trace
 # (examples/ plus the specs embedded in the scenario experiment) through
 # the same strict load/validate path pckpt-sim -spec uses.
@@ -72,8 +79,8 @@ cachepass:
 # sim/queue/nodesim/stepsim substrate micro-benchmarks) and writes the
 # parsed results as a machine-readable artefact; see EXPERIMENTS.md for
 # the schema and how to compare against the committed baseline.
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_LABEL ?= PR8
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_LABEL ?= PR9
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
@@ -103,6 +110,12 @@ bench-step-smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchfmt -out /dev/null >/dev/null
 
+# race-machine is a focused race pass over the shared-machine layer:
+# the arbiter, admission plane, and SimulateN's cross-run worker pool
+# (the machine tests include a DeepEqual worker-determinism sweep).
+race-machine:
+	$(GO) test -race -timeout 30m -count=1 ./internal/machine
+
 # errcheck flags discarded results (a bare `p.Wait(d)` or `s.Validate()`
 # statement) in non-test code — the class of bug vet misses.
 errcheck:
@@ -117,9 +130,10 @@ errcheck:
 # nondeterminism), a dedicated race pass over the tier cross-validation
 # (all three tiers), a focused race pass over the step tier's
 # bit-identity matrix — all five models, episode machinery included —
-# the golden-table regression suite plus explicit degraded-platform and
-# scenario golden gates, the cold-then-warm cache pass, and
-# one-iteration smoke runs of the full benchmark suite and the
+# a focused race pass over the shared-machine arbiter/admission layer,
+# the golden-table regression suite plus explicit degraded-platform,
+# scenario, and contention golden gates, the cold-then-warm cache pass,
+# and one-iteration smoke runs of the full benchmark suite and the
 # step-vs-process headroom pairs.
 ci:
 	$(MAKE) fmt-check
@@ -130,9 +144,11 @@ ci:
 	$(MAKE) race
 	$(GO) test -run TestCrossValidation -race -timeout 30m ./...
 	$(GO) test -run TestCrossValidationStep -race -timeout 30m ./internal/stepsim
+	$(MAKE) race-machine
 	$(MAKE) golden
 	$(MAKE) golden-degraded
 	$(MAKE) golden-scenario
+	$(MAKE) golden-contention
 	$(MAKE) cachepass
 	$(MAKE) bench-smoke
 	$(MAKE) bench-step-smoke

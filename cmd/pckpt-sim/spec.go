@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"pckpt/internal/experiments"
+	"pckpt/internal/machine"
 	"pckpt/internal/policy"
 	"pckpt/internal/runcache"
 	"pckpt/internal/scenario"
@@ -111,6 +112,9 @@ func runSpec(path, cacheDir string, tier experiments.Tier, ov specOverrides) err
 		return err
 	}
 	s = applyOverrides(s, ov)
+	if s.Machine != nil {
+		return runMachineSpec(s, cacheDir)
+	}
 	cfgs, err := s.Configs()
 	if err != nil {
 		return err
@@ -163,6 +167,64 @@ func runSpec(path, cacheDir string, tier experiments.Tier, ov specOverrides) err
 		st := store.Totals()
 		fmt.Printf("cache: %d hits, %d misses\n", st.Hits, st.Misses)
 	}
+	return nil
+}
+
+// runMachineSpec executes a spec with a machine block: the cohort ×
+// policy cells become tenants of one shared machine (node pool, PFS
+// bandwidth ceiling, drain slots), and the report is per-tenant slowdown
+// versus the same cell run solo, admission queue wait, and bandwidth
+// starvation, averaged over the spec's runs. Machine results are whole-
+// cohort outcomes rather than per-cell aggregates, so the runcache does
+// not apply.
+func runMachineSpec(s *scenario.Spec, cacheDir string) error {
+	cfg, err := s.MachineConfig()
+	if err != nil {
+		return err
+	}
+	cfgs, err := s.Configs()
+	if err != nil {
+		return err
+	}
+	if cacheDir != "" {
+		fmt.Println("note: -cache ignored for machine specs (results are whole-cohort, not per-cell)")
+	}
+	fmt.Printf("scenario %s: machine with %d tenants (%d runs, seed %d)\n", s.Name, len(cfg.Jobs), s.Runs, s.Seed)
+	if s.Description != "" {
+		fmt.Println(s.Description)
+	}
+	fmt.Println()
+
+	results := machine.SimulateN(cfg, s.Runs, s.Seed, runtime.GOMAXPROCS(0))
+	n := float64(len(results))
+	type agg struct{ wall, slow, wait, starve float64 }
+	per := make([]agg, len(cfg.Jobs))
+	makespan, peak := 0.0, 0.0
+	for _, res := range results {
+		for i, jr := range res.Jobs {
+			per[i].wall += jr.Run.WallSeconds
+			per[i].slow += jr.SlowdownX
+			per[i].wait += jr.QueueWaitSeconds
+			per[i].starve += jr.StarvationSeconds
+		}
+		makespan += res.MakespanSeconds
+		if res.PeakAllocGBs > peak {
+			peak = res.PeakAllocGBs
+		}
+	}
+
+	t := tablefmt.NewTable("Tenant", "Model", "Arrive(s)", "Wall(h)", "Slowdown(x)", "QueueWait(s)", "Starve(s)")
+	for i, a := range per {
+		t.AddRow(cfgs[i].Label, cfgs[i].Policy.String(),
+			fmt.Sprintf("%.0f", cfg.Jobs[i].ArrivalSeconds),
+			tablefmt.Hours(a.wall/n),
+			fmt.Sprintf("%.3f", a.slow/n),
+			fmt.Sprintf("%.1f", a.wait/n),
+			fmt.Sprintf("%.1f", a.starve/n))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("mean makespan %s, peak aggregate PFS allocation %.2f GB/s\n",
+		tablefmt.Hours(makespan/n), peak)
 	return nil
 }
 

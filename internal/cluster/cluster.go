@@ -118,13 +118,19 @@ func (c *Cluster) SparesLeft() int { return c.spares - c.used }
 
 // MarkVulnerable transitions a node to Vulnerable with the given
 // predicted failure time. A vulnerable or migrating node may be re-marked
-// (a newer prediction supersedes); a failed node may not.
+// (a newer prediction supersedes); a failed node may not. A migrating
+// node keeps its Migrating state — the in-flight migration still owns the
+// node, only the deadline is refreshed — so no observer notification
+// fires for it. Use AbortMigration to tear the migration down first when
+// the superseding prediction should re-queue the node.
 func (c *Cluster) MarkVulnerable(id int, failAt float64) error {
 	n := c.Node(id)
 	if n.State == Failed {
 		return fmt.Errorf("cluster: node %d is failed, cannot mark vulnerable", id)
 	}
-	c.setState(n, Vulnerable)
+	if n.State != Migrating {
+		c.setState(n, Vulnerable)
+	}
 	n.PredictedFailAt = failAt
 	return nil
 }
@@ -136,6 +142,19 @@ func (c *Cluster) MarkMigrating(id int) error {
 		return fmt.Errorf("cluster: node %d is %v, cannot start migration", id, n.State)
 	}
 	c.setState(n, Migrating)
+	return nil
+}
+
+// AbortMigration tears down an in-flight migration: the node returns to
+// Vulnerable with the given predicted failure time (the superseding
+// prediction's deadline), ready to be re-queued by the episode drain.
+func (c *Cluster) AbortMigration(id int, failAt float64) error {
+	n := c.Node(id)
+	if n.State != Migrating {
+		return fmt.Errorf("cluster: node %d is %v, no migration to abort", id, n.State)
+	}
+	c.setState(n, Vulnerable)
+	n.PredictedFailAt = failAt
 	return nil
 }
 
@@ -224,15 +243,23 @@ func (c *Cluster) ClampCheckpoints(progress float64) {
 }
 
 // Vulnerable returns the IDs of nodes currently Vulnerable or Migrating,
-// ascending.
+// ascending. It allocates a fresh slice; hot paths that run once per
+// episode should prefer AppendVulnerable with a reused buffer.
 func (c *Cluster) Vulnerable() []int {
-	var out []int
+	return c.AppendVulnerable(nil)
+}
+
+// AppendVulnerable appends the IDs of nodes currently Vulnerable or
+// Migrating, ascending, to buf and returns the extended slice. Callers
+// that keep buf across calls (`buf = c.AppendVulnerable(buf[:0])`) pay
+// zero allocations once the buffer has grown to the episode's width.
+func (c *Cluster) AppendVulnerable(buf []int) []int {
 	for i := range c.nodes {
 		if s := c.nodes[i].State; s == Vulnerable || s == Migrating {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
 
 // CountState returns how many nodes are in the given state.

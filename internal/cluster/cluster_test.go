@@ -224,6 +224,155 @@ func TestStateMachineQuick(t *testing.T) {
 	}
 }
 
+// TestSupersedeDuringMigration pins the supersede-during-migration
+// contract: a newer prediction landing on a Migrating node refreshes the
+// deadline but must NOT revert the node to Vulnerable — the in-flight
+// migration still owns it. Tearing the migration down is a separate,
+// explicit AbortMigration.
+func TestSupersedeDuringMigration(t *testing.T) {
+	c := New(3, 1)
+	c.MarkVulnerable(1, 100)
+	if err := c.MarkMigrating(1); err != nil {
+		t.Fatal(err)
+	}
+	var fired []string
+	c.SetObserver(func(id int, from, to State) {
+		fired = append(fired, from.String()+"->"+to.String())
+	})
+	if err := c.MarkVulnerable(1, 80); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node(1).State; got != Migrating {
+		t.Fatalf("superseding prediction reverted state to %v, want migrating", got)
+	}
+	if got := c.Node(1).PredictedFailAt; got != 80 {
+		t.Fatalf("PredictedFailAt = %g, want refreshed to 80", got)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("no-op re-mark notified the observer: %v", fired)
+	}
+	// The explicit abort realizes Migrating -> Vulnerable (and notifies).
+	if err := c.AbortMigration(1, 75); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node(1).State; got != Vulnerable {
+		t.Fatalf("AbortMigration left state %v, want vulnerable", got)
+	}
+	if got := c.Node(1).PredictedFailAt; got != 75 {
+		t.Fatalf("PredictedFailAt = %g, want 75", got)
+	}
+	if len(fired) != 1 || fired[0] != "migrating->vulnerable" {
+		t.Fatalf("observer saw %v, want [migrating->vulnerable]", fired)
+	}
+}
+
+func TestAbortMigrationRequiresMigrating(t *testing.T) {
+	c := New(2, 1)
+	if err := c.AbortMigration(0, 10); err == nil {
+		t.Fatal("aborting a healthy node's migration accepted")
+	}
+	c.MarkVulnerable(0, 10)
+	if err := c.AbortMigration(0, 10); err == nil {
+		t.Fatal("aborting a vulnerable node's migration accepted")
+	}
+}
+
+// TestObserverTable walks every legal transition path — including
+// Replace, Fail, and the re-mark paths — and asserts the observer sees
+// exactly the real transitions, with no notification for no-ops.
+func TestObserverTable(t *testing.T) {
+	type step struct {
+		op   func(c *Cluster)
+		want string // "" = no notification
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"predict-resolve", []step{
+			{func(c *Cluster) { c.MarkVulnerable(0, 10) }, "healthy->vulnerable"},
+			{func(c *Cluster) { c.MarkVulnerable(0, 8) }, ""}, // re-mark: no-op transition
+			{func(c *Cluster) { c.MarkHealthy(0) }, "vulnerable->healthy"},
+			{func(c *Cluster) { c.MarkHealthy(0) }, ""}, // already healthy
+		}},
+		{"migrate-complete", []step{
+			{func(c *Cluster) { c.MarkVulnerable(0, 10) }, "healthy->vulnerable"},
+			{func(c *Cluster) { c.MarkMigrating(0) }, "vulnerable->migrating"},
+			{func(c *Cluster) { c.MarkVulnerable(0, 6) }, ""}, // supersede keeps migrating
+			{func(c *Cluster) { c.MarkHealthy(0) }, "migrating->healthy"},
+		}},
+		{"migrate-abort", []step{
+			{func(c *Cluster) { c.MarkVulnerable(0, 10) }, "healthy->vulnerable"},
+			{func(c *Cluster) { c.MarkMigrating(0) }, "vulnerable->migrating"},
+			{func(c *Cluster) { c.AbortMigration(0, 9) }, "migrating->vulnerable"},
+		}},
+		{"fail-replace", []step{
+			{func(c *Cluster) { c.Fail(0) }, "healthy->failed"},
+			{func(c *Cluster) { c.Fail(0) }, ""}, // double fail: no-op
+			{func(c *Cluster) { c.Replace(0) }, "failed->healthy"},
+		}},
+		{"vulnerable-fail", []step{
+			{func(c *Cluster) { c.MarkVulnerable(0, 10) }, "healthy->vulnerable"},
+			{func(c *Cluster) { c.Fail(0) }, "vulnerable->failed"},
+		}},
+		{"migrating-fail", []step{
+			{func(c *Cluster) { c.MarkVulnerable(0, 10) }, "healthy->vulnerable"},
+			{func(c *Cluster) { c.MarkMigrating(0) }, "vulnerable->migrating"},
+			{func(c *Cluster) { c.Fail(0) }, "migrating->failed"},
+		}},
+		{"failed-rejects-marks", []step{
+			{func(c *Cluster) { c.Fail(0) }, "healthy->failed"},
+			{func(c *Cluster) { c.MarkVulnerable(0, 10) }, ""}, // rejected, no notify
+			{func(c *Cluster) { c.AbortMigration(0, 10) }, ""}, // rejected, no notify
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(2, 4)
+			var got []string
+			c.SetObserver(func(id int, from, to State) {
+				if from == to {
+					t.Errorf("observer notified of no-op %v->%v", from, to)
+				}
+				got = append(got, from.String()+"->"+to.String())
+			})
+			var want []string
+			for _, s := range tc.steps {
+				s.op(c)
+				if s.want != "" {
+					want = append(want, s.want)
+				}
+				if len(got) != len(want) || (len(want) > 0 && got[len(got)-1] != want[len(want)-1]) {
+					t.Fatalf("after step: observer saw %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestAppendVulnerable(t *testing.T) {
+	c := New(6, 1)
+	c.MarkVulnerable(1, 10)
+	c.MarkVulnerable(4, 20)
+	c.MarkVulnerable(5, 30)
+	c.MarkMigrating(4)
+	buf := make([]int, 0, 8)
+	buf = c.AppendVulnerable(buf)
+	if len(buf) != 3 || buf[0] != 1 || buf[1] != 4 || buf[2] != 5 {
+		t.Fatalf("AppendVulnerable = %v, want [1 4 5]", buf)
+	}
+	// Reusing the buffer must not allocate and must replace, not append.
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = c.AppendVulnerable(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendVulnerable with warm buffer allocated %.1f times per run, want 0", allocs)
+	}
+	if got := c.Vulnerable(); len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("Vulnerable() = %v, want [1 4 5]", got)
+	}
+}
+
 func TestStateString(t *testing.T) {
 	names := map[State]string{Healthy: "healthy", Vulnerable: "vulnerable", Migrating: "migrating", Failed: "failed"}
 	for s, want := range names {

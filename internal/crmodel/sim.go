@@ -54,6 +54,9 @@ type appSim struct {
 	// Event plumbing: the injector appends, the app drains on interrupt.
 	pending      []failure.Event
 	safeguarding bool // M1 safeguard in flight
+	// vulnBuf is the reused episode-width scratch buffer (metered runs
+	// only): cluster.AppendVulnerable fills it without allocating.
+	vulnBuf []int
 
 	met runMetrics
 	res stats.RunResult
@@ -91,7 +94,7 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 		pol:   policy.For(cfg.Model),
 		env:   sim.NewEnv(),
 		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
-		cl:    cluster.New(cfg.App.Nodes, math.MaxInt32),
+		cl:    cluster.New(cfg.App.Nodes, cfg.SpareLimit()),
 		plat:  cfg.Derive(),
 		sigma: cfg.Sigma(),
 		st:    policy.NewState(),
@@ -128,14 +131,18 @@ func (a *appSim) refreshOCI() {
 // run is the application process: compute OCI seconds, checkpoint to BB,
 // repeat until the required computation completes.
 func (a *appSim) run(p *sim.Proc) {
-	for a.progress < a.plat.ComputeSeconds {
+	for a.progress < a.plat.ComputeSeconds && !a.res.Truncated {
 		a.computeChunk(p)
-		if a.progress >= a.plat.ComputeSeconds {
+		if a.progress >= a.plat.ComputeSeconds || a.res.Truncated {
 			break
 		}
 		a.bbCheckpoint(p)
 	}
 	a.res.WallSeconds = a.env.Now()
+	if a.res.Truncated {
+		a.trace(trace.Truncated, -1, "spare pool exhausted")
+		return
+	}
 	a.trace(trace.Complete, -1, "")
 }
 
@@ -150,14 +157,24 @@ func (a *appSim) computeChunk(p *sim.Proc) {
 	if a.cfg.Trace != nil {
 		a.trace(trace.CycleStart, -1, fmt.Sprintf("interval=%.0fs", target-a.progress))
 	}
-	for a.progress < target {
+	// The float sums can stall a hair short of the target once simulated
+	// time can no longer resolve the residual (the measured wait recovers
+	// less than the requested delay at large absolute times); treat
+	// anything below a microsecond as done and snap, as the node-granular
+	// tier does. Without the snap, a rollback that lands progress just
+	// short of ComputeSeconds livelocks the run: compute 0s, checkpoint,
+	// forever.
+	for target-a.progress > 1e-6 {
 		start := a.env.Now()
 		err := p.Wait(target - a.progress)
 		a.progress += a.env.Now() - start
 		if err == nil {
-			return
+			break
 		}
 		a.handleEvents(p)
+		if a.res.Truncated {
+			return
+		}
 		if a.st.TakeRescheduled() {
 			// A proactive action committed a full checkpoint; re-base
 			// the periodic schedule on the fresh interval (the paper's
@@ -166,6 +183,7 @@ func (a *appSim) computeChunk(p *sim.Proc) {
 			target = math.Min(a.progress+a.curOCI, a.plat.ComputeSeconds)
 		}
 	}
+	a.progress = target
 }
 
 // bbCheckpoint performs the synchronous burst-buffer write of a periodic
@@ -242,9 +260,10 @@ func (a *appSim) blockedWait(p *sim.Proc, dur float64, bucket *float64) bool {
 	return true
 }
 
-// handleEvents drains the pending queue.
+// handleEvents drains the pending queue. A truncated run stops draining:
+// the job is dead, the remaining events go nowhere.
 func (a *appSim) handleEvents(p *sim.Proc) {
-	for len(a.pending) > 0 {
+	for len(a.pending) > 0 && !a.res.Truncated {
 		ev := a.pending[0]
 		a.pending = a.pending[1:]
 		switch ev.Kind {
@@ -341,10 +360,14 @@ func (a *appSim) pckptEpisode(p *sim.Proc, first failure.Event) {
 		a.res.AbortedMigrations++
 		a.trace(trace.MigrationAborted, ev.Node, "superseded by p-ckpt")
 		if a.cl.Node(ev.Node).State == cluster.Migrating {
-			a.cl.MarkVulnerable(ev.Node, ev.FailTime)
+			a.cl.AbortMigration(ev.Node, ev.FailTime)
 		}
 		ep.Q.Push(ev.FailTime, ev)
 	})
+	if a.cfg.Metrics != nil {
+		a.vulnBuf = a.cl.AppendVulnerable(a.vulnBuf[:0])
+		a.met.episodeWidth.Observe(float64(len(a.vulnBuf)))
+	}
 	for ep.Q.Len() > 0 && !ep.Abandoned {
 		_, ev := ep.Q.Pop()
 		if !a.blockedWait(p, a.pricing.VulnerableWrite, &a.res.Overheads.Checkpoint) {
@@ -514,7 +537,13 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 		a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
 	}
 	if err := a.cl.Replace(ev.Node); err != nil {
-		panic(fmt.Sprintf("crmodel: %v", err))
+		// Spare pool exhausted: the resource manager cannot re-host the
+		// failed rank, so the failure is job-fatal. The run ends truncated
+		// at the current time — no recovery is charged; the unwinding
+		// frames (recovery retries of earlier failures included) observe
+		// the marker and stop.
+		a.res.Truncated = true
+		return
 	}
 	// Recovery: restart as many times as failures force us to. On a
 	// degraded platform the restore can stretch further: each corrupt
@@ -525,6 +554,9 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 	began := a.env.Now()
 	for i := 0; i < corrupted; i++ {
 		for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
+			if a.res.Truncated {
+				return
+			}
 		}
 	}
 	attempt, cascades := 0, 0
@@ -533,10 +565,16 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 			cascades++
 			a.res.Cascades++
 			for !a.blockedWait(p, frac*recovery, &a.res.Overheads.Recovery) {
+				if a.res.Truncated {
+					return
+				}
 			}
 			continue
 		}
 		for !a.blockedWait(p, recovery, &a.res.Overheads.Recovery) {
+			if a.res.Truncated {
+				return
+			}
 		}
 		fail, backoff := a.inj.RestartAttemptFails(attempt)
 		if !fail {
@@ -546,6 +584,9 @@ func (a *appSim) onFailure(p *sim.Proc, ev failure.Event) {
 		a.res.RestartRetries++
 		if backoff > 0 {
 			for !a.blockedWait(p, backoff, &a.res.Overheads.Recovery) {
+				if a.res.Truncated {
+					return
+				}
 			}
 		}
 	}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pckpt/internal/failure"
+	"pckpt/internal/machine"
+	"pckpt/internal/platform"
+	"pckpt/internal/policy"
+	"pckpt/internal/tablefmt"
+	"pckpt/internal/workload"
+)
+
+// contentionCohort is the fixed multi-tenant cohort the contention
+// experiment simulates: three 16-node tenants — an M1 safeguarder, a
+// P2 p-ckpt tenant, and a plain-B tenant arriving mid-run — on a
+// machine whose PFS ceiling is far below their combined solo demand.
+// Unbounded spares keep every run to completion (a truncated wall is
+// pinned by the failure stream, which would mask the contention
+// stretch under study).
+func contentionCohort() machine.Config {
+	app := workload.App{Name: "tenant", Nodes: 16, TotalCkptGB: 320, ComputeHours: 4}
+	sys := failure.System{Name: "busy", Shape: 0.75, ScaleHours: 2, Nodes: 16}
+	job := func(m policy.ID, arrival float64) machine.JobSpec {
+		return machine.JobSpec{
+			Model:          m,
+			Platform:       platform.Config{App: app, System: sys},
+			ArrivalSeconds: arrival,
+		}
+	}
+	return machine.Config{
+		Jobs: []machine.JobSpec{
+			job(policy.M1, 0),
+			job(policy.P2, 0),
+			job(policy.B, 1800),
+		},
+		PFSCeilingGBs: 3,
+	}
+}
+
+// Contention runs the shared-machine cohort: per-tenant slowdown versus
+// an uncontended solo run, admission queue wait, and bandwidth
+// starvation, averaged over the sweep's runs. The bandwidth arbiter
+// serves p-ckpt's vulnerable-node writes in a machine-wide priority
+// lane, so P2's phase-1 commits hold their solo price even on a
+// saturated PFS.
+func Contention(p Params) Result {
+	p = p.withDefaults()
+	cfg := contentionCohort()
+	seed := configSeed(p.Seed, "contention")
+	results := machine.SimulateN(cfg, p.Runs, seed, p.Workers)
+
+	n := float64(len(results))
+	type agg struct {
+		slow, wait, starve, wall float64
+		trunc                    int
+	}
+	jobs := make([]agg, len(cfg.Jobs))
+	makespan, peak := 0.0, 0.0
+	for _, res := range results {
+		for i, jr := range res.Jobs {
+			jobs[i].slow += jr.SlowdownX
+			jobs[i].wait += jr.QueueWaitSeconds
+			jobs[i].starve += jr.StarvationSeconds
+			jobs[i].wall += jr.Run.WallSeconds
+			if jr.Run.Truncated {
+				jobs[i].trunc++
+			}
+		}
+		makespan += res.MakespanSeconds
+		if res.PeakAllocGBs > peak {
+			peak = res.PeakAllocGBs
+		}
+	}
+
+	t := tablefmt.NewTable("Job", "Model", "Arrive(s)", "Wall(h)", "Slowdown(x)", "QueueWait(s)", "Starve(s)")
+	values := map[string]float64{}
+	for i, a := range jobs {
+		j := cfg.Jobs[i]
+		t.AddRow(
+			fmt.Sprintf("%d", i),
+			j.Model.String(),
+			fmt.Sprintf("%.0f", j.ArrivalSeconds),
+			fmt.Sprintf("%.2f", a.wall/n/3600),
+			fmt.Sprintf("%.3f", a.slow/n),
+			fmt.Sprintf("%.1f", a.wait/n),
+			fmt.Sprintf("%.1f", a.starve/n),
+		)
+		key := fmt.Sprintf("job%d/%s", i, j.Model)
+		values[key+"/slowdown-x"] = a.slow / n
+		values[key+"/queue-wait-s"] = a.wait / n
+		values[key+"/starve-s"] = a.starve / n
+		values[key+"/truncated-frac"] = float64(a.trunc) / n
+	}
+	values["makespan-h"] = makespan / n / 3600
+	values["peak-alloc-gbs"] = peak
+
+	text := t.String() + fmt.Sprintf(
+		"\n(three tenants share one %.0f GB/s PFS ceiling under %s admission;\n"+
+			" slowdown is contended wall over the same job, platform, and seed run solo —\n"+
+			" the arbiter's priority lane keeps p-ckpt phase-1 writes at their solo price;\n"+
+			" mean makespan %.2fh, peak aggregate allocation %.2f GB/s)\n",
+		cfg.PFSCeilingGBs, machine.FIFO{}.Name(), makespan/n/3600, peak)
+	return Result{
+		ID:     "contention",
+		Title:  "Extension: multi-tenant contention — shared PFS bandwidth arbitration and admission",
+		Text:   text,
+		Values: values,
+	}
+}

@@ -28,6 +28,10 @@ func TestWorkersDeterminism(t *testing.T) {
 		// scenario includes the trace-replay spec: a replayed failure
 		// stream must be bit-identical across worker counts too.
 		{"scenario", Params{Runs: 20, Seed: 42}},
+		// contention runs whole machines (several apps on one shared
+		// clock) per run; the machine driver must parallelize across
+		// runs without perturbing any of them.
+		{"contention", Params{Runs: 20, Seed: 42}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -143,6 +143,7 @@ func All() []Def {
 		{"crossval", "Cross-validation: app-level reference vs node-granular and step tiers on matched seeds", CrossValidation},
 		{"degraded", "Extension: degraded platform — injected write failures, corruption, restart retries", Degraded},
 		{"scenario", "Extension: declarative scenario specs — cohorts, platforms, failure-trace replay", Scenario},
+		{"contention", "Extension: multi-tenant contention — shared PFS bandwidth arbitration and admission", Contention},
 	}
 }
 

@@ -1,0 +1,86 @@
+package machine
+
+import "fmt"
+
+// PendingJob is one queued job as the admission policy sees it: its
+// index in the machine's job list, the node count it needs (application
+// nodes plus its spare pool), and when it arrived.
+type PendingJob struct {
+	Job            int
+	Nodes          int
+	ArrivalSeconds float64
+}
+
+// RoutingDecision records one admission: which queued job starts, at
+// what time, onto how many nodes. The control plane splits deciding
+// (AdmissionPolicy.Admit) from acting (the machine driver starts the
+// app and debits the node pool) so a decision is a plain, loggable
+// value — the admission/routing separation of the exemplar control
+// plane.
+type RoutingDecision struct {
+	Job       int
+	AtSeconds float64
+	Nodes     int
+}
+
+// AdmissionPolicy decides which queued job, if any, starts next on a
+// machine with freeNodes unoccupied nodes. queue is ordered by arrival
+// (FIFO); the policy returns the index *into queue* of the job to admit
+// and true, or false to admit nothing this round. The driver calls
+// Admit again after every admission and every job departure, so a
+// policy only ever picks one job at a time.
+type AdmissionPolicy interface {
+	Name() string
+	Admit(queue []PendingJob, freeNodes int) (int, bool)
+}
+
+// FIFO admits strictly in arrival order: the head job starts when it
+// fits, and a too-large head blocks everything behind it (no
+// leapfrogging, no starvation).
+type FIFO struct{}
+
+// Name implements AdmissionPolicy.
+func (FIFO) Name() string { return "fifo" }
+
+// Admit implements AdmissionPolicy.
+func (FIFO) Admit(queue []PendingJob, freeNodes int) (int, bool) {
+	if len(queue) > 0 && queue[0].Nodes <= freeNodes {
+		return 0, true
+	}
+	return 0, false
+}
+
+// SmallestFit admits the smallest queued job that fits (ties broken by
+// arrival order): a backfilling policy that trades FIFO's fairness for
+// utilization — a wide job can wait indefinitely behind a stream of
+// narrow ones.
+type SmallestFit struct{}
+
+// Name implements AdmissionPolicy.
+func (SmallestFit) Name() string { return "smallest-fit" }
+
+// Admit implements AdmissionPolicy.
+func (SmallestFit) Admit(queue []PendingJob, freeNodes int) (int, bool) {
+	best, found := 0, false
+	for i, p := range queue {
+		if p.Nodes > freeNodes {
+			continue
+		}
+		if !found || p.Nodes < queue[best].Nodes {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// AdmissionFor returns the named admission policy ("" and "fifo" map to
+// FIFO, "smallest-fit" to SmallestFit).
+func AdmissionFor(name string) (AdmissionPolicy, error) {
+	switch name {
+	case "", "fifo":
+		return FIFO{}, nil
+	case "smallest-fit":
+		return SmallestFit{}, nil
+	}
+	return nil, fmt.Errorf("machine: unknown admission policy %q (want fifo or smallest-fit)", name)
+}

@@ -1,0 +1,352 @@
+// Package machine simulates a shared machine: several applications,
+// each a full platform cell on the step tier, contend for one
+// parallel-file-system bandwidth ceiling, a shared drain-concurrency
+// budget, and a finite node pool. The package supplies the two control
+// planes the solo tiers lack — a bandwidth arbiter (this file) pricing
+// concurrent PFS transfers against each other, and an admission plane
+// (admission.go) deciding when queued jobs start — and a driver
+// (machine.go) running the whole cohort on one step engine.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"pckpt/internal/stepsim"
+)
+
+// flow is one in-flight transfer at the arbiter.
+type flow struct {
+	id       stepsim.FlowID
+	app      int
+	class    stepsim.WriteClass
+	remainGB float64
+	// soloRate is the flow's uncontended bandwidth (volume over solo
+	// duration): the arbiter never allocates a flow more — contention
+	// only slows a transfer down, never speeds it past its solo price.
+	soloRate float64
+	// rate is the current allocation, repriced on every writer-set change.
+	rate  float64
+	done  func()
+	timer stepsim.Timer
+	// queued marks a drain parked for a free drain slot; suspended marks
+	// a flow frozen by its app's interrupt handling. Neither holds
+	// bandwidth.
+	queued    bool
+	suspended bool
+}
+
+// BandwidthArbiter is the machine's PFS bandwidth control plane. It
+// implements stepsim.Arbiter with a fluid-flow model: between writer-set
+// changes every active flow proceeds at a constant rate, and on every
+// change (start, finish, suspend, resume, cancel) the arbiter advances
+// each flow's remaining volume and re-divides the ceiling —
+//
+//   - vulnerable-node writes (stepsim.ClassVulnerable) form a priority
+//     lane served first, in FIFO order, each capped at its solo rate, so
+//     p-ckpt's phase-1 prioritization holds machine-wide;
+//   - the remaining bandwidth is max-min fair-shared across all other
+//     active flows, each again capped at its solo rate;
+//   - drains additionally contend for MaxDrains shared slots: a drain
+//     arriving with no free slot queues FIFO and holds no bandwidth.
+//
+// Completion times are engine timers rescheduled on each repricing, so
+// the whole machine stays a deterministic single-goroutine simulation.
+type BandwidthArbiter struct {
+	eng      *stepsim.Engine
+	ceiling  float64
+	maxDrain int
+
+	active   []*flow // allocation order: ascending flow id
+	drainQ   []*flow // FIFO drains awaiting a slot
+	byID     map[stepsim.FlowID]*flow
+	nextID   stepsim.FlowID
+	inDrain  int
+	lastT    float64
+	starving []bool    // app had an active-but-unallocated flow at lastT
+	starveS  []float64 // integrated starvation seconds per app
+
+	// onAlloc, when non-nil, observes every repricing: the simulation
+	// time and the total allocated bandwidth (the conservation probe —
+	// total never exceeds the ceiling).
+	onAlloc func(t, totalGBs float64)
+
+	// scratch is the water-filling worklist, reused across repricings.
+	scratch []*flow
+}
+
+// NewBandwidthArbiter creates the arbiter for a machine whose PFS
+// sustains ceilingGBs aggregate bandwidth and maxDrains concurrent
+// drains, shared by numApps applications on eng.
+func NewBandwidthArbiter(eng *stepsim.Engine, ceilingGBs float64, maxDrains, numApps int) *BandwidthArbiter {
+	if ceilingGBs <= 0 {
+		panic(fmt.Sprintf("machine: non-positive bandwidth ceiling %g", ceilingGBs))
+	}
+	if maxDrains <= 0 {
+		panic(fmt.Sprintf("machine: non-positive drain concurrency %d", maxDrains))
+	}
+	return &BandwidthArbiter{
+		eng:      eng,
+		ceiling:  ceilingGBs,
+		maxDrain: maxDrains,
+		byID:     make(map[stepsim.FlowID]*flow),
+		starving: make([]bool, numApps),
+		starveS:  make([]float64, numApps),
+		lastT:    eng.Now(),
+	}
+}
+
+// SetAllocObserver installs fn to observe every repricing's total
+// allocation (t, totalGBs). Pass nil to remove.
+func (b *BandwidthArbiter) SetAllocObserver(fn func(t, totalGBs float64)) { b.onAlloc = fn }
+
+// StarvationSeconds returns the total simulated time during which app
+// had at least one runnable flow allocated zero bandwidth.
+func (b *BandwidthArbiter) StarvationSeconds(app int) float64 {
+	if app < 0 || app >= len(b.starveS) {
+		return 0
+	}
+	return b.starveS[app]
+}
+
+// QueuedDrains returns the number of drains waiting for a slot.
+func (b *BandwidthArbiter) QueuedDrains() int { return len(b.drainQ) }
+
+// StartFlow implements stepsim.Arbiter. Done is always scheduled through
+// the engine, never called inline.
+func (b *BandwidthArbiter) StartFlow(app int, class stepsim.WriteClass, volumeGB, soloSeconds float64, done func()) stepsim.FlowID {
+	if volumeGB <= 0 || soloSeconds <= 0 {
+		panic(fmt.Sprintf("machine: flow with non-positive volume %g GB / solo %g s", volumeGB, soloSeconds))
+	}
+	b.nextID++
+	f := &flow{
+		id:       b.nextID,
+		app:      app,
+		class:    class,
+		remainGB: volumeGB,
+		soloRate: volumeGB / soloSeconds,
+		done:     done,
+	}
+	b.byID[f.id] = f
+	b.grow(app)
+	if class == stepsim.ClassDrain && b.inDrain >= b.maxDrain {
+		f.queued = true
+		b.drainQ = append(b.drainQ, f)
+		return f.id
+	}
+	b.activate(f)
+	b.reprice()
+	return f.id
+}
+
+// SuspendFlow implements stepsim.Arbiter: the flow's remaining volume is
+// frozen and its bandwidth (and drain slot) returns to the machine.
+func (b *BandwidthArbiter) SuspendFlow(id stepsim.FlowID) {
+	f := b.byID[id]
+	if f == nil || f.suspended {
+		return
+	}
+	b.advance(b.eng.Now())
+	f.suspended = true
+	if f.queued {
+		b.unqueue(f)
+		return
+	}
+	b.deactivate(f)
+	b.reprice()
+}
+
+// ResumeFlow implements stepsim.Arbiter: the flow re-enters contention
+// with its remaining volume (a drain re-queues if no slot is free).
+func (b *BandwidthArbiter) ResumeFlow(id stepsim.FlowID) {
+	f := b.byID[id]
+	if f == nil || !f.suspended {
+		return
+	}
+	f.suspended = false
+	if f.class == stepsim.ClassDrain && b.inDrain >= b.maxDrain {
+		f.queued = true
+		b.drainQ = append(b.drainQ, f)
+		return
+	}
+	b.activate(f)
+	b.reprice()
+}
+
+// CancelFlow implements stepsim.Arbiter: the flow is abandoned and done
+// will not fire.
+func (b *BandwidthArbiter) CancelFlow(id stepsim.FlowID) {
+	f := b.byID[id]
+	if f == nil {
+		return
+	}
+	delete(b.byID, id)
+	if f.suspended {
+		return // held no slot, no bandwidth, no timer
+	}
+	if f.queued {
+		b.unqueue(f)
+		return
+	}
+	b.deactivate(f)
+	b.reprice()
+}
+
+// complete fires when a flow's completion timer expires: the flow's
+// remaining volume has fully transferred at its allocated rate.
+func (b *BandwidthArbiter) complete(f *flow) {
+	f.timer = stepsim.Timer{}
+	delete(b.byID, f.id)
+	b.deactivate(f)
+	b.reprice()
+	f.done()
+}
+
+// activate admits f to the allocated set (taking a drain slot if it is a
+// drain), keeping the set in ascending-id order so allocation — and its
+// floating-point summation order — is canonical.
+func (b *BandwidthArbiter) activate(f *flow) {
+	f.queued = false
+	if f.class == stepsim.ClassDrain {
+		b.inDrain++
+	}
+	i := len(b.active)
+	for i > 0 && b.active[i-1].id > f.id {
+		i--
+	}
+	b.active = append(b.active, nil)
+	copy(b.active[i+1:], b.active[i:])
+	b.active[i] = f
+}
+
+// deactivate removes f from the allocated set, cancels its timer, and —
+// if it held a drain slot — promotes the longest-waiting queued drain.
+func (b *BandwidthArbiter) deactivate(f *flow) {
+	b.eng.Cancel(f.timer)
+	f.timer = stepsim.Timer{}
+	f.rate = 0
+	for i, g := range b.active {
+		if g == f {
+			b.active = append(b.active[:i], b.active[i+1:]...)
+			break
+		}
+	}
+	if f.class == stepsim.ClassDrain {
+		b.inDrain--
+		if len(b.drainQ) > 0 {
+			next := b.drainQ[0]
+			copy(b.drainQ, b.drainQ[1:])
+			b.drainQ = b.drainQ[:len(b.drainQ)-1]
+			b.activate(next)
+		}
+	}
+}
+
+// unqueue removes a parked drain from the slot queue.
+func (b *BandwidthArbiter) unqueue(f *flow) {
+	f.queued = false
+	for i, g := range b.drainQ {
+		if g == f {
+			b.drainQ = append(b.drainQ[:i], b.drainQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// grow widens the per-app accounting to cover app.
+func (b *BandwidthArbiter) grow(app int) {
+	for len(b.starveS) <= app {
+		b.starveS = append(b.starveS, 0)
+		b.starving = append(b.starving, false)
+	}
+}
+
+// advance integrates the fluid model from the last repricing to t:
+// every active flow's remaining volume shrinks by rate·dt, and starved
+// apps accrue starvation time.
+func (b *BandwidthArbiter) advance(t float64) {
+	dt := t - b.lastT
+	if dt > 0 {
+		for _, f := range b.active {
+			f.remainGB = math.Max(f.remainGB-f.rate*dt, 0)
+		}
+		for app, s := range b.starving {
+			if s {
+				b.starveS[app] += dt
+			}
+		}
+	}
+	b.lastT = t
+}
+
+// reprice advances the fluid model to now, re-divides the ceiling over
+// the active flows (priority lane first, then capped max-min fair
+// share), and reschedules every completion timer.
+func (b *BandwidthArbiter) reprice() {
+	t := b.eng.Now()
+	b.advance(t)
+
+	// Priority lane: vulnerable-node writes, FIFO by flow id, each at
+	// its solo rate while the ceiling lasts.
+	left := b.ceiling
+	b.scratch = b.scratch[:0]
+	for _, f := range b.active {
+		if f.class == stepsim.ClassVulnerable {
+			f.rate = math.Min(f.soloRate, left)
+			left -= f.rate
+		} else {
+			f.rate = 0
+			b.scratch = append(b.scratch, f)
+		}
+	}
+	// Water-filling max-min over everyone else: repeatedly grant flows
+	// whose solo cap fits under the equal share, then split what remains
+	// equally among the unsatisfied.
+	unsat := b.scratch
+	for len(unsat) > 0 && left > 0 {
+		share := left / float64(len(unsat))
+		n := 0
+		for _, f := range unsat {
+			if f.soloRate <= share {
+				f.rate = f.soloRate
+				left -= f.rate
+			} else {
+				unsat[n] = f
+				n++
+			}
+		}
+		if n == len(unsat) {
+			for _, f := range unsat {
+				f.rate = share
+			}
+			left = 0
+			break
+		}
+		unsat = unsat[:n]
+	}
+
+	total := 0.0
+	for _, f := range b.active {
+		total += f.rate
+	}
+	if b.onAlloc != nil {
+		b.onAlloc(t, total)
+	}
+	for i := range b.starving {
+		b.starving[i] = false
+	}
+	for _, f := range b.active {
+		if f.rate == 0 {
+			b.starving[f.app] = true
+		}
+	}
+
+	for _, f := range b.active {
+		b.eng.Cancel(f.timer)
+		f.timer = stepsim.Timer{}
+		if f.rate > 0 {
+			f := f
+			f.timer = b.eng.AfterCancel(f.remainGB/f.rate, "arbiter", func() { b.complete(f) })
+		}
+	}
+}

@@ -42,6 +42,7 @@ func TestCanonicalStringSensitivity(t *testing.T) {
 		"app-nodes":      func(c *Config) { c.App.Nodes++ },
 		"system":         func(c *Config) { c.System = failure.LANLSystem18 },
 		"system-shape":   func(c *Config) { c.System.Shape += 0.001 },
+		"spare-nodes":    func(c *Config) { c.SpareNodes = 3 },
 		"lm-alpha":       func(c *Config) { c.LM = lm.Default().WithAlpha(2.5) },
 		"lead-scale":     func(c *Config) { c.LeadScale = 1.1 },
 		"fn-rate":        func(c *Config) { c.FNRate = 0.3 },
@@ -78,7 +79,7 @@ func TestCanonicalStringSensitivity(t *testing.T) {
 func TestCanonicalStringVersionedAndStable(t *testing.T) {
 	c := testConfig()
 	s := c.CanonicalString()
-	if !strings.HasPrefix(s, "platform/v3\n") {
+	if !strings.HasPrefix(s, "platform/v4\n") {
 		t.Fatalf("missing version header: %q", s[:min(len(s), 40)])
 	}
 	if s != c.CanonicalString() {

@@ -29,6 +29,12 @@ type Config struct {
 	App workload.App
 	// System supplies the failure distribution (Table III entry).
 	System failure.System
+	// SpareNodes is the reserve pool the resource manager backs the job
+	// with: each node failure consumes one spare, and a failure arriving
+	// after the pool is exhausted is job-fatal (the run ends truncated,
+	// stats.RunResult.Truncated). Zero means effectively unbounded — the
+	// paper's assumption that node recovery keeps spares available.
+	SpareNodes int
 	// IO prices every transfer; nil selects the default Summit model.
 	IO *iomodel.Model
 	// LM is the migration model; the zero value selects lm.Default().
@@ -131,6 +137,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform: FP rate outside [0, 1)")
 	case c.OCIRefreshSeconds < 0:
 		return fmt.Errorf("platform: negative OCI refresh period")
+	case c.SpareNodes < 0:
+		return fmt.Errorf("platform: negative spare-node count")
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -141,6 +149,15 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// SpareLimit returns the spare-pool size to back the cluster with:
+// SpareNodes, or effectively unbounded when the field is zero.
+func (c Config) SpareLimit() int {
+	if c.SpareNodes <= 0 {
+		return math.MaxInt32
+	}
+	return c.SpareNodes
 }
 
 // Theta returns the live-migration lead-time threshold for this

@@ -42,6 +42,7 @@ func (s *Spec) CanonicalString() (string, error) {
 	fmt.Fprintf(&b, "name=%s\n", n.Name)
 	fmt.Fprintf(&b, "runs=%d\n", n.Runs)
 	fmt.Fprintf(&b, "seed=%d\n", n.Seed)
+	canonicalMachine(&b, n.Machine)
 	for _, c := range cfgs {
 		fmt.Fprintf(&b, "config=%s|%s\n", c.Label, c.Policy)
 		for _, line := range strings.SplitAfter(c.Platform.CanonicalString(), "\n") {

@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pckpt/internal/policy"
+)
+
+const machineSpec = `{
+  "version": 1,
+  "name": "machine-min",
+  "apps": [{"name": "VULCAN"}],
+  "policies": ["M1", "P2"],
+  "machine": {
+    "pfs_ceiling_gbs": 5,
+    "arrival_seconds": [0, 600]
+  },
+  "runs": 2
+}`
+
+func TestMachineSpecCompiles(t *testing.T) {
+	s := mustParse(t, machineSpec)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("machine spec rejected: %v", err)
+	}
+	cfg, err := s.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Jobs) != 2 {
+		t.Fatalf("%d tenants, want 2 (1 app × 2 policies)", len(cfg.Jobs))
+	}
+	if cfg.Jobs[0].Model != policy.M1 || cfg.Jobs[1].Model != policy.P2 {
+		t.Fatalf("tenant models %v/%v, want M1/P2", cfg.Jobs[0].Model, cfg.Jobs[1].Model)
+	}
+	if cfg.Jobs[1].ArrivalSeconds != 600 {
+		t.Fatalf("tenant 1 arrives at %g, want 600", cfg.Jobs[1].ArrivalSeconds)
+	}
+	if cfg.PFSCeilingGBs != 5 {
+		t.Fatalf("ceiling %g, want 5", cfg.PFSCeilingGBs)
+	}
+	// The normalized block names FIFO explicitly.
+	if adm := s.Normalize().Machine.Admission; adm != "fifo" {
+		t.Fatalf("normalized admission %q, want fifo", adm)
+	}
+}
+
+func TestMachineSpecRejects(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"arrivals-mismatch": func(s *Spec) { s.Machine.ArrivalSeconds = []float64{0} },
+		"negative-arrival":  func(s *Spec) { s.Machine.ArrivalSeconds = []float64{0, -5} },
+		"nan-arrival":       func(s *Spec) { s.Machine.ArrivalSeconds = []float64{0, math.NaN()} },
+		"bad-admission":     func(s *Spec) { s.Machine.Admission = "lottery" },
+		"negative-nodes":    func(s *Spec) { s.Machine.Nodes = -1 },
+		"tiny-machine":      func(s *Spec) { s.Machine.Nodes = 2 }, // smaller than any tenant
+		"nan-ceiling":       func(s *Spec) { s.Machine.PFSCeilingGBs = math.NaN() },
+		"negative-drains":   func(s *Spec) { s.Machine.MaxConcurrentDrains = -2 },
+	}
+	for name, mutate := range cases {
+		s := mustParse(t, machineSpec)
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid machine spec accepted", name)
+		}
+	}
+	// A spec without the block cannot compile a machine.
+	if _, err := mustParse(t, minimalSpec).MachineConfig(); err == nil {
+		t.Error("MachineConfig succeeded without a machine block")
+	}
+}
+
+// The machine block round-trips through the canonical rendering and
+// shows up in the canonical string; its absence leaves pre-machine specs
+// byte-identical.
+func TestMachineSpecCanonical(t *testing.T) {
+	s := mustParse(t, machineSpec)
+	r1, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("machine rendering is not a fixed point:\n%s\nvs\n%s", r1, r2)
+	}
+	cs, err := s.CanonicalString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "machine=nodes:0|ceiling:5|drains:0|admission:fifo|arrive:0|arrive:600\n"
+	if !strings.Contains(cs, want) {
+		t.Errorf("canonical string lacks machine line %q:\n%s", want, cs)
+	}
+	plain, err := mustParse(t, minimalSpec).CanonicalString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "machine=") {
+		t.Errorf("machine-less spec renders a machine line:\n%s", plain)
+	}
+}

@@ -184,6 +184,10 @@ type Spec struct {
 	// Policies lists the C/R policies to simulate; absent selects the
 	// full catalogue (B, M1, M2, P1, P2).
 	Policies []string `json:"policies,omitempty"`
+	// Machine, when present, runs the cohort × policy cells as tenants of
+	// one shared machine (node pool, PFS bandwidth ceiling, drain slots)
+	// instead of independent solo sweeps.
+	Machine *MachineSpec `json:"machine,omitempty"`
 	// Runs is the per-configuration run count (0 = 200, the pckpt-sim
 	// default).
 	Runs int `json:"runs,omitempty"`
@@ -287,6 +291,7 @@ func (s *Spec) Normalize() *Spec {
 	} else {
 		n.Policies = append([]string(nil), s.Policies...)
 	}
+	n.Machine = normalizeMachine(s.Machine)
 	if n.Runs == 0 {
 		n.Runs = 200
 	}
@@ -390,8 +395,15 @@ func (s *Spec) Configs() ([]RunConfig, error) {
 // simulating, or nil. It never panics, whatever the input. Purely
 // in-memory: an unresolved trace_file is an error here (Load resolves).
 func (s *Spec) Validate() error {
-	_, err := s.Configs()
-	return err
+	if _, err := s.Configs(); err != nil {
+		return err
+	}
+	if s.Machine != nil {
+		if _, err := s.MachineConfig(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // check verifies the spec skeleton before compilation.
@@ -415,6 +427,9 @@ func (s *Spec) check() error {
 	}
 	if s.Runs < 0 {
 		return fmt.Errorf("scenario: negative run count")
+	}
+	if err := checkMachine(s.Machine); err != nil {
+		return err
 	}
 	if p := s.Platform; p != nil {
 		fields := map[string]float64{

@@ -86,6 +86,13 @@ type RunResult struct {
 	// Cascades counts secondary failures that landed inside recovery
 	// windows.
 	Cascades int `json:",omitempty"`
+
+	// Truncated marks a run the platform ended early: a node failure
+	// struck after the spare pool was exhausted, so the resource manager
+	// could not re-host the failed rank and the job died. WallSeconds and
+	// the overhead buckets cover the truncated span only; ComputeSeconds
+	// of progress was NOT reached.
+	Truncated bool `json:",omitempty"`
 }
 
 // TotalFailures returns all failure events, including avoided ones.
@@ -199,6 +206,18 @@ func (a *Agg) MeanFTRatio() float64 {
 		return 0
 	}
 	return float64(handled) / float64(total)
+}
+
+// TruncatedRuns counts recorded runs the platform ended early (spare
+// pool exhausted before the application completed).
+func (a *Agg) TruncatedRuns() int {
+	n := 0
+	for _, r := range a.runs {
+		if r.Truncated {
+			n++
+		}
+	}
+	return n
 }
 
 // MeanWallSeconds returns the run-averaged wall time.

@@ -80,6 +80,29 @@ type appSim struct {
 	cl     *cluster.Cluster
 	inj    *faultinject.Injector
 
+	// t0 is the app's start time on the (possibly shared) engine, and
+	// localNow the app's own clock in seconds since t0. The local clock
+	// advances to each event's locally-computed deadline rather than
+	// being re-derived from the engine clock: subtracting t0 back out
+	// would lose last-ulp bits, and those bits compound (an ulp-short
+	// progress buys a whole extra checkpoint cycle). Every time in the
+	// app's accounting, trace, and failure stream is local, so a job
+	// admitted mid-machine-run computes the same timeline a solo run
+	// does.
+	t0       float64
+	localNow float64
+	// arb, when non-nil, is the shared machine's bandwidth arbiter: PFS
+	// transfers become flows priced against the other tenants instead of
+	// fixed solo durations. appIdx identifies this app at the arbiter.
+	arb    Arbiter
+	appIdx int
+	// onDone, when non-nil, observes the final result the moment the app
+	// finishes (the shared-machine completion hook).
+	onDone func(stats.RunResult)
+	// drainFlows tracks in-flight drain transfers at the arbiter so a
+	// finished (or truncated) job withdraws them from the machine.
+	drainFlows []FlowID
+
 	plat  platform.Derived
 	sigma float64
 	// pricing derives the episode's phase-1/phase-2 transfer prices from
@@ -93,6 +116,9 @@ type appSim struct {
 
 	pending      []failure.Event
 	safeguarding bool
+	// vulnBuf is the reused episode-width scratch buffer (metered runs
+	// only): cluster.AppendVulnerable fills it without allocating.
+	vulnBuf []int
 
 	// Step-machine state standing in for the application goroutine:
 	// appDone mirrors !Proc.Alive(); blocked is the pending wake timer
@@ -109,13 +135,62 @@ type appSim struct {
 	res stats.RunResult
 }
 
+// now returns the app-local simulation time: seconds since the app
+// started. On a dedicated engine (Simulate) it equals the engine clock.
+func (a *appSim) now() float64 { return a.localNow }
+
+// clockTo advances the local clock (never backwards: an arbitered flow
+// may already have pushed it past an older timer's deadline).
+func (a *appSim) clockTo(local float64) {
+	if local > a.localNow {
+		a.localNow = local
+	}
+}
+
+// syncClock advances the local clock to the engine clock — the entry
+// point for events whose time the machine owns (arbitered flow
+// completions), which have no locally-computed deadline.
+func (a *appSim) syncClock() { a.clockTo(a.eng.Now() - a.t0) }
+
+// sched runs fn after delay seconds of app-local time. The deadline is
+// computed in local arithmetic — now()+delay, the exact float ops a
+// solo run performs — and the local clock advances to that deadline
+// when the event fires, so local arithmetic never round-trips through
+// the absolute clock (which would lose last-ulp bits and let locally
+// tied deadlines split). The engine-time conversion is one t0 addition.
+func (a *appSim) sched(delay float64, name string, fn func()) {
+	if delay == 0 {
+		// An immediate event joins the current timestamp batch; the t0
+		// round-trip could land an ulp past it.
+		a.eng.AtNamed(0, name, fn)
+		return
+	}
+	deadline := a.now() + delay
+	a.eng.AtTimeNamed(a.t0+deadline, name, func() {
+		a.clockTo(deadline)
+		fn()
+	})
+}
+
+// schedTimer is sched returning a cancellable Timer.
+func (a *appSim) schedTimer(delay float64, name string, fn func()) Timer {
+	if delay == 0 {
+		return a.eng.AfterCancel(0, name, fn)
+	}
+	deadline := a.now() + delay
+	return a.eng.AfterCancelAt(a.t0+deadline, name, func() {
+		a.clockTo(deadline)
+		fn()
+	})
+}
+
 // trace emits a timeline event when tracing is enabled.
 func (a *appSim) trace(kind trace.Kind, node int, detail string) {
 	if a.cfg.Trace == nil {
 		return
 	}
 	a.cfg.Trace.Record(trace.Event{
-		T:        a.eng.Now(),
+		T:        a.now(),
 		Kind:     kind,
 		Node:     node,
 		Progress: a.progress,
@@ -127,20 +202,63 @@ func (a *appSim) trace(kind trace.Kind, node int, detail string) {
 // (cfg, seed), and bit-identical to crmodel.Simulate for the supported
 // models on the same configuration and seed.
 func Simulate(cfg Config, seed uint64) stats.RunResult {
+	eng := NewEngine()
+	eng.SetWatchdog(maxRunEvents, 0)
+	h := StartApp(eng, cfg, seed, AppOptions{})
+	eng.RunAll()
+	eng.Release()
+	return h.Result()
+}
+
+// AppOptions configures an application started on a shared engine. The
+// zero value reproduces a solo Simulate run exactly.
+type AppOptions struct {
+	// Arbiter, when non-nil, routes the app's PFS transfers through a
+	// shared-machine bandwidth arbiter instead of pricing each at its
+	// uncontended solo duration.
+	Arbiter Arbiter
+	// AppIndex identifies the app at the arbiter and in diagnostics.
+	AppIndex int
+	// OnDone, when non-nil, runs the moment the app completes (normally
+	// or truncated), receiving the final result — the machine layer's
+	// job-departure hook. It fires on the simulation goroutine.
+	OnDone func(stats.RunResult)
+}
+
+// AppHandle is a started application on a (possibly shared) engine.
+type AppHandle struct{ a *appSim }
+
+// Done reports whether the application has finished.
+func (h *AppHandle) Done() bool { return h.a.appDone }
+
+// Result returns the run's accounting; meaningful once Done.
+func (h *AppHandle) Result() stats.RunResult { return h.a.res }
+
+// StartApp schedules one application run on eng, starting at the
+// engine's current time. The caller drives the engine; several apps on
+// one engine share its clock (the multi-tenant machine of
+// internal/machine) while each keeps its own local time base, failure
+// substreams, and accounting — an app admitted at t on a shared engine
+// with no arbiter computes bit-identically to a solo Simulate run.
+func StartApp(eng *Engine, cfg Config, seed uint64, opts AppOptions) *AppHandle {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	src := rng.New(seed)
 	a := &appSim{
-		cfg:   cfg,
-		pol:   policy.For(cfg.Model),
-		eng:   NewEngine(),
-		est:   failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
-		cl:    cluster.New(cfg.App.Nodes, math.MaxInt32),
-		plat:  cfg.Derive(),
-		sigma: cfg.Sigma(),
-		st:    policy.NewState(),
+		cfg:    cfg,
+		pol:    policy.For(cfg.Model),
+		eng:    eng,
+		t0:     eng.Now(),
+		arb:    opts.Arbiter,
+		appIdx: opts.AppIndex,
+		onDone: opts.OnDone,
+		est:    failure.NewRateEstimator(cfg.System.JobFailureRate(cfg.App.Nodes)),
+		cl:     cluster.New(cfg.App.Nodes, cfg.SpareLimit()),
+		plat:   cfg.Derive(),
+		sigma:  cfg.Sigma(),
+		st:     policy.NewState(),
 	}
 	a.pricing = pckpt.NewEpisodePricing(cfg.IO, a.plat.PerNodeGB)
 	a.met = newRunMetrics(cfg.Metrics, cfg.Model)
@@ -151,15 +269,12 @@ func Simulate(cfg Config, seed uint64) stats.RunResult {
 	// draws from Split(1), the fault plan from Split(StreamKey).
 	a.stream = failure.NewSource(cfg.StreamConfig(cfg.Metrics), src.Split(1))
 	a.inj = faultinject.New(cfg.Faults, src.Split(faultinject.StreamKey), cfg.Metrics)
-	a.eng.SetWatchdog(maxRunEvents, 0)
 
 	// Start order mirrors crmodel's spawn order: the app's first compute
 	// cycle schedules its wake before the injector draws the stream.
-	a.eng.AtNamed(0, "app", a.start)
-	a.eng.AtNamed(0, "injector", a.injectLoop)
-	a.eng.RunAll()
-	a.eng.Release()
-	return a.res
+	a.sched(0, "app", a.start)
+	a.sched(0, "injector", a.injectLoop)
+	return &AppHandle{a: a}
 }
 
 // wait parks the application for d seconds of simulated time: cont runs
@@ -171,7 +286,7 @@ func (a *appSim) wait(d float64, cont func(interrupted bool)) {
 		panic(fmt.Sprintf("stepsim: wait with negative duration %g", d))
 	}
 	a.blockedCont = cont
-	a.blocked = a.eng.AfterCancel(d, "app", func() {
+	a.blocked = a.schedTimer(d, "app", func() {
 		a.resume()(false)
 	})
 }
@@ -200,7 +315,7 @@ func (a *appSim) interrupt() {
 	a.interruptPending = true
 	a.eng.Cancel(a.blocked)
 	a.blocked = Timer{}
-	a.eng.AtNamed(0, "app", func() {
+	a.sched(0, "app", func() {
 		a.resume()(true)
 	})
 }
@@ -208,7 +323,7 @@ func (a *appSim) interrupt() {
 // refreshOCI re-derives the checkpoint interval from the current failure
 // rate estimate, per Eq. (1) (σ=0) or Eq. (2).
 func (a *appSim) refreshOCI() {
-	rate := a.est.Rate(a.eng.Now())
+	rate := a.est.Rate(a.now())
 	a.curOCI = oci.FromJobRate(a.plat.BBWrite, rate, a.sigma)
 }
 
@@ -219,9 +334,9 @@ func (a *appSim) start() {
 }
 
 func (a *appSim) runLoop() {
-	if a.progress < a.plat.ComputeSeconds {
+	if a.progress < a.plat.ComputeSeconds && !a.res.Truncated {
 		a.computeChunk(func() {
-			if a.progress >= a.plat.ComputeSeconds {
+			if a.progress >= a.plat.ComputeSeconds || a.res.Truncated {
 				a.finish()
 				return
 			}
@@ -232,12 +347,26 @@ func (a *appSim) runLoop() {
 	a.finish()
 }
 
-// finish completes the application process; the injector observes
-// appDone at its next delivery, exactly as it observes !Alive().
+// finish completes the application process — normally or truncated; the
+// injector observes appDone at its next delivery, exactly as it observes
+// !Alive().
 func (a *appSim) finish() {
-	a.res.WallSeconds = a.eng.Now()
-	a.trace(trace.Complete, -1, "")
+	a.res.WallSeconds = a.now()
+	if a.res.Truncated {
+		a.trace(trace.Truncated, -1, "spare pool exhausted")
+	} else {
+		a.trace(trace.Complete, -1, "")
+	}
 	a.appDone = true
+	// A departed job withdraws its in-flight drains from the machine —
+	// their bandwidth and drain slots return to the remaining tenants.
+	for _, id := range a.drainFlows {
+		a.arb.CancelFlow(id)
+	}
+	a.drainFlows = nil
+	if a.onDone != nil {
+		a.onDone(a.res)
+	}
 }
 
 // computeChunk advances the application by one checkpoint interval,
@@ -248,20 +377,31 @@ func (a *appSim) computeChunk(k func()) {
 	if a.cfg.Trace != nil {
 		a.trace(trace.CycleStart, -1, fmt.Sprintf("interval=%.0fs", target-a.progress))
 	}
+	// Mirrors crmodel's residual snap: the float sums can stall a hair
+	// short of the target once simulated time can no longer resolve the
+	// residual; treat anything below a microsecond as done and snap.
+	// Without the snap, a rollback that lands progress just short of
+	// ComputeSeconds livelocks the run: compute 0s, checkpoint, forever.
 	var step func()
 	step = func() {
-		if a.progress >= target {
+		if target-a.progress <= 1e-6 {
+			a.progress = target
 			k()
 			return
 		}
-		start := a.eng.Now()
+		start := a.now()
 		a.wait(target-a.progress, func(interrupted bool) {
-			a.progress += a.eng.Now() - start
+			a.progress += a.now() - start
 			if !interrupted {
+				a.progress = target
 				k()
 				return
 			}
 			a.handleEvents(func() {
+				if a.res.Truncated {
+					k()
+					return
+				}
 				if a.st.TakeRescheduled() {
 					// A proactive action committed a full checkpoint;
 					// re-base the periodic schedule on the fresh interval.
@@ -278,7 +418,7 @@ func (a *appSim) computeChunk(k func()) {
 // bbCheckpoint performs the synchronous burst-buffer write of a periodic
 // checkpoint, launches the asynchronous PFS drain, then runs k.
 func (a *appSim) bbCheckpoint(k func()) {
-	began := a.eng.Now()
+	began := a.now()
 	a.blockedWait(a.plat.BBWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
 		if !ok {
 			// A failure voided the write and rolled progress back; resume
@@ -287,7 +427,7 @@ func (a *appSim) bbCheckpoint(k func()) {
 			k()
 			return
 		}
-		a.met.bbWrite.Observe(a.eng.Now() - began)
+		a.met.bbWrite.Observe(a.now() - began)
 		if a.inj.BBWriteFails() {
 			a.res.BBWriteFailures++
 			a.trace(trace.BBWrite, -1, "write failed (injected)")
@@ -303,23 +443,53 @@ func (a *appSim) bbCheckpoint(k func()) {
 		a.cl.RecordBBCheckpointAll(a.progress)
 		captured := a.progress
 		gen, depth := a.st.BeginDrain()
-		a.met.drainDepth.Set(a.eng.Now(), float64(depth))
-		a.eng.At(a.plat.Drain, func() {
-			depth, current := a.st.FinishDrain(gen)
-			a.met.drainDepth.Set(a.eng.Now(), float64(depth))
-			// The drain completes unless a newer checkpoint superseded it.
-			if current {
-				if a.inj.PFSWriteFails() {
-					a.res.PFSWriteFailures++
-					a.trace(trace.DrainDone, -1, "drain failed (injected)")
-					return
-				}
-				a.commitFullPFS(captured)
-				a.trace(trace.DrainDone, -1, "")
-			}
-		})
+		a.met.drainDepth.Set(a.now(), float64(depth))
+		a.startDrain(captured, gen)
 		k()
 	})
+}
+
+// startDrain launches the asynchronous BB→PFS drain: a fixed-duration
+// callback solo, an arbitered flow (contending for drain slots and
+// fair-share bandwidth) on a shared machine.
+func (a *appSim) startDrain(captured float64, gen int) {
+	var fid FlowID
+	done := func() {
+		if a.arb != nil {
+			a.dropDrainFlow(fid)
+		}
+		depth, current := a.st.FinishDrain(gen)
+		a.met.drainDepth.Set(a.now(), float64(depth))
+		// The drain completes unless a newer checkpoint superseded it.
+		if current {
+			if a.inj.PFSWriteFails() {
+				a.res.PFSWriteFailures++
+				a.trace(trace.DrainDone, -1, "drain failed (injected)")
+				return
+			}
+			a.commitFullPFS(captured)
+			a.trace(trace.DrainDone, -1, "")
+		}
+	}
+	if a.arb == nil {
+		a.sched(a.plat.Drain, "drain", done)
+		return
+	}
+	fid = a.arb.StartFlow(a.appIdx, ClassDrain, float64(a.plat.Nodes)*a.plat.PerNodeGB, a.plat.Drain, func() {
+		a.syncClock()
+		done()
+	})
+	a.drainFlows = append(a.drainFlows, fid)
+}
+
+// dropDrainFlow forgets a completed drain's flow handle.
+func (a *appSim) dropDrainFlow(fid FlowID) {
+	for i, id := range a.drainFlows {
+		if id == fid {
+			a.drainFlows = append(a.drainFlows[:i], a.drainFlows[i+1:]...)
+			return
+		}
+	}
 }
 
 // blockedWait blocks the application for dur seconds, accounting the
@@ -335,9 +505,9 @@ func (a *appSim) blockedWait(dur float64, bucket *float64, k func(ok bool)) {
 			k(true)
 			return
 		}
-		start := a.eng.Now()
+		start := a.now()
 		a.wait(remaining, func(interrupted bool) {
-			elapsed := a.eng.Now() - start
+			elapsed := a.now() - start
 			remaining -= elapsed
 			*bucket += elapsed
 			if !interrupted {
@@ -356,9 +526,52 @@ func (a *appSim) blockedWait(dur float64, bucket *float64, k func(ok bool)) {
 	step()
 }
 
-// handleEvents drains the pending queue, then runs k.
+// flowWait is blockedWait for an arbitered PFS transfer: the app parks
+// on a flow of volumeGB whose completion time the machine's bandwidth
+// arbiter owns. Solo (nil arbiter) it is exactly blockedWait at the
+// uncontended duration — which is what keeps solo runs bit-identical.
+// An injector interrupt suspends the flow while events are handled
+// (its bandwidth returns to the pool, mirroring how a blocked wait's
+// clock stops); a voiding failure cancels it and k sees false.
+func (a *appSim) flowWait(class WriteClass, volumeGB, soloSeconds float64, bucket *float64, k func(ok bool)) {
+	if a.arb == nil || volumeGB <= 0 || soloSeconds <= 0 {
+		a.blockedWait(soloSeconds, bucket, k)
+		return
+	}
+	epoch := a.st.Epoch()
+	var fid FlowID
+	var park func()
+	park = func() {
+		start := a.now()
+		a.blockedCont = func(interrupted bool) {
+			*bucket += a.now() - start
+			if !interrupted {
+				k(true)
+				return
+			}
+			a.arb.SuspendFlow(fid)
+			a.handleEvents(func() {
+				if a.st.Epoch() != epoch {
+					a.arb.CancelFlow(fid)
+					k(false)
+					return
+				}
+				a.arb.ResumeFlow(fid)
+				park()
+			})
+		}
+	}
+	fid = a.arb.StartFlow(a.appIdx, class, volumeGB, soloSeconds, func() {
+		a.syncClock()
+		a.resume()(false)
+	})
+	park()
+}
+
+// handleEvents drains the pending queue, then runs k. A truncated run
+// stops draining: the job is dead, the remaining events go nowhere.
 func (a *appSim) handleEvents(k func()) {
-	if len(a.pending) == 0 {
+	if len(a.pending) == 0 || a.res.Truncated {
 		k()
 		return
 	}
@@ -391,7 +604,7 @@ func (a *appSim) onPrediction(ev failure.Event, k func()) {
 		// passed without a newer prediction superseding it.
 		failAt := ev.FailTime
 		node := ev.Node
-		a.eng.At(math.Max(failAt-a.eng.Now(), 0), func() {
+		a.sched(math.Max(failAt-a.now(), 0), "vuln-clear", func() {
 			n := a.cl.Node(node)
 			if n.State == cluster.Vulnerable && n.PredictedFailAt == failAt {
 				a.cl.MarkHealthy(node)
@@ -432,7 +645,7 @@ func (a *appSim) onPrediction(ev failure.Event, k func()) {
 func (a *appSim) pckptEpisode(first failure.Event, k func()) {
 	a.res.ProactiveCkpts++
 	a.trace(trace.EpisodeStart, first.Node, "")
-	epBegin := a.eng.Now()
+	epBegin := a.now()
 	ep := a.st.BeginEpisode(a.progress)
 	done := func() { // crmodel's `defer a.st.EndEpisode()`
 		a.st.EndEpisode()
@@ -445,10 +658,14 @@ func (a *appSim) pckptEpisode(first failure.Event, k func()) {
 		a.res.AbortedMigrations++
 		a.trace(trace.MigrationAborted, ev.Node, "superseded by p-ckpt")
 		if a.cl.Node(ev.Node).State == cluster.Migrating {
-			a.cl.MarkVulnerable(ev.Node, ev.FailTime)
+			a.cl.AbortMigration(ev.Node, ev.FailTime)
 		}
 		ep.Q.Push(ev.FailTime, ev)
 	})
+	if a.cfg.Metrics != nil {
+		a.vulnBuf = a.cl.AppendVulnerable(a.vulnBuf[:0])
+		a.met.episodeWidth.Observe(float64(len(a.vulnBuf)))
+	}
 	finish := func() { // everything after crmodel's drain loop
 		if ep.Abandoned {
 			a.met.episodesAbandoned.Inc()
@@ -468,9 +685,9 @@ func (a *appSim) pckptEpisode(first failure.Event, k func()) {
 				}
 				a.st.MarkRescheduled()
 			}
-			a.met.episodeDur.Observe(a.eng.Now() - epBegin)
+			a.met.episodeDur.Observe(a.now() - epBegin)
 			if a.cfg.Trace != nil {
-				a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.eng.Now()-epBegin, ep.Committed))
+				a.trace(trace.EpisodeEnd, -1, fmt.Sprintf("blocked=%.1fs committed=%d", a.now()-epBegin, ep.Committed))
 			}
 			done()
 		}
@@ -478,7 +695,7 @@ func (a *appSim) pckptEpisode(first failure.Event, k func()) {
 		healthy := a.plat.Nodes - ep.Committed
 		if healthy > 0 {
 			tr := a.pricing.Phase2Transfer(healthy)
-			a.blockedWait(tr.Seconds, &a.res.Overheads.Checkpoint, func(ok bool) {
+			a.flowWait(ClassCollective, tr.VolumeGB, tr.Seconds, &a.res.Overheads.Checkpoint, func(ok bool) {
 				if !ok {
 					a.met.episodesAbandoned.Inc()
 					done()
@@ -498,7 +715,7 @@ func (a *appSim) pckptEpisode(first failure.Event, k func()) {
 			return
 		}
 		_, ev := ep.Q.Pop()
-		a.blockedWait(a.pricing.VulnerableWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
+		a.flowWait(ClassVulnerable, a.plat.PerNodeGB, a.pricing.VulnerableWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
 			if !ok {
 				finish() // the failure that voided the wait abandoned ep
 				return
@@ -509,25 +726,25 @@ func (a *appSim) pckptEpisode(first failure.Event, k func()) {
 				// node re-enters the lead-time priority queue; otherwise
 				// its prediction goes unserved.
 				a.res.PFSWriteFailures++
-				if ev.Kind == failure.KindPrediction && a.eng.Now()+a.pricing.VulnerableWrite <= ev.FailTime {
+				if ev.Kind == failure.KindPrediction && a.now()+a.pricing.VulnerableWrite <= ev.FailTime {
 					ep.Q.Push(ev.FailTime, ev)
 				}
 				drain()
 				return
 			}
 			ep.Committed++
-			a.met.commitLat.Observe(a.eng.Now() - epBegin)
+			a.met.commitLat.Observe(a.now() - epBegin)
 			a.trace(trace.VulnerableCommit, ev.Node, "")
 			a.cl.RecordPFSCheckpoint(ev.Node, ep.StartProgress)
 			if a.cl.Node(ev.Node).State == cluster.Vulnerable {
 				a.cl.MarkHealthy(ev.Node)
 			}
-			if ev.Kind == failure.KindPrediction && a.eng.Now() <= ev.FailTime {
+			if ev.Kind == failure.KindPrediction && a.now() <= ev.FailTime {
 				// The vulnerable node's state reached the PFS before its
 				// failure: the failure is mitigated.
 				a.st.Mitigate(ev.ID, ep.StartProgress)
-				a.met.leadConsumed.Observe(a.eng.Now() - (ev.FailTime - ev.Lead))
-				a.met.leadMargin.Observe(ev.FailTime - a.eng.Now())
+				a.met.leadConsumed.Observe(a.now() - (ev.FailTime - ev.Lead))
+				a.met.leadMargin.Observe(ev.FailTime - a.now())
 			}
 			drain()
 		})
@@ -543,7 +760,7 @@ func (a *appSim) startMigration(ev failure.Event) {
 		a.trace(trace.MigrationStart, ev.Node, fmt.Sprintf("theta=%.1fs", a.plat.Theta))
 	}
 	a.cl.MarkMigrating(ev.Node)
-	a.eng.At(a.plat.Theta, func() {
+	a.sched(a.plat.Theta, "migration", func() {
 		if !a.st.FinishMigration(m) {
 			return
 		}
@@ -578,9 +795,9 @@ func (a *appSim) safeguard(k func()) {
 	}
 	a.res.ProactiveCkpts++
 	a.trace(trace.SafeguardStart, -1, "")
-	began := a.eng.Now()
+	began := a.now()
 	startProgress := a.progress
-	a.blockedWait(a.plat.FullPFSWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
+	a.flowWait(ClassCollective, float64(a.plat.Nodes)*a.plat.PerNodeGB, a.plat.FullPFSWrite, &a.res.Overheads.Checkpoint, func(ok bool) {
 		if !ok {
 			done() // the failure won the race (or rolled us back)
 			return
@@ -597,7 +814,7 @@ func (a *appSim) safeguard(k func()) {
 		}
 		a.st.MarkRescheduled()
 		a.trace(trace.SafeguardEnd, -1, "")
-		now := a.eng.Now()
+		now := a.now()
 		a.met.safeguardDur.Observe(now - began)
 		if a.plat.FullPFSWrite > 0 {
 			a.met.pfsGBs.Observe(float64(a.plat.Nodes) * a.plat.PerNodeGB / a.plat.FullPFSWrite)
@@ -647,8 +864,12 @@ func (a *appSim) onFailure(ev failure.Event, k func()) {
 		a.cl.ClampCheckpoints(q)
 	}
 	recovery := a.plat.RecoveryBB
+	// A PFS restore reads the full checkpoint over the shared filesystem
+	// and contends at the arbiter; BB recovery is node-local (no volume).
+	recoveryGB := 0.0
 	if fullPFSRestore {
 		recovery = a.plat.RecoveryPFS
+		recoveryGB = float64(a.plat.Nodes) * a.plat.PerNodeGB
 	}
 	loss := 0.0
 	if a.progress > q {
@@ -668,19 +889,28 @@ func (a *appSim) onFailure(ev failure.Event, k func()) {
 		a.trace(trace.Failure, ev.Node, fmt.Sprintf("%s loss=%.0fs", outcome, loss))
 	}
 	if err := a.cl.Replace(ev.Node); err != nil {
-		panic(fmt.Sprintf("stepsim: %v", err))
+		// Spare pool exhausted: the resource manager cannot re-host the
+		// failed rank, so the failure is job-fatal. The run ends truncated
+		// at the current time — no recovery is charged; k unwinds through
+		// handleEvents, whose truncated checks stop the chain (crmodel's
+		// early returns through the call stack).
+		a.res.Truncated = true
+		k()
+		return
 	}
 	// Recovery mirrors crmodel's retry structure: corrupt candidates cost
 	// a torn read each, cascades void the partial restore, and failed
 	// restart attempts charge deterministic doubling backoff. The nested
-	// `for !blockedWait(...) {}` loops become persistentWait chains.
-	began := a.eng.Now()
+	// `for !blockedWait(...) {}` loops become persistentWait chains; k is
+	// their truncated-abort continuation (crmodel's `return` from the
+	// retry loops skips the recovery metering the same way).
+	began := a.now()
 	attempt, cascades := 0, 0
 	finish := func() {
 		if cascades > 0 {
 			a.inj.ObserveCascadeDepth(cascades)
 		}
-		a.met.recoveryDur.Observe(a.eng.Now() - began)
+		a.met.recoveryDur.Observe(a.now() - began)
 		a.trace(trace.RecoveryDone, ev.Node, "")
 		k()
 	}
@@ -692,10 +922,10 @@ func (a *appSim) onFailure(ev failure.Event, k func()) {
 		if strike, frac := a.inj.CascadeRecovery(); strike && cascades < faultinject.MaxCascadeDepth {
 			cascades++
 			a.res.Cascades++
-			a.persistentWait(frac*recovery, mainLoop)
+			a.persistentWait(frac*recoveryGB, frac*recovery, mainLoop, k)
 			return
 		}
-		a.persistentWait(recovery, func() {
+		a.persistentWait(recoveryGB, recovery, func() {
 			fail, backoff := a.inj.RestartAttemptFails(attempt)
 			if !fail {
 				finish()
@@ -704,11 +934,12 @@ func (a *appSim) onFailure(ev failure.Event, k func()) {
 			attempt++
 			a.res.RestartRetries++
 			if backoff > 0 {
-				a.persistentWait(backoff, mainLoop)
+				// Backoff is idle waiting, not I/O: never arbitered.
+				a.persistentWait(0, backoff, mainLoop, k)
 				return
 			}
 			mainLoop()
-		})
+		}, k)
 	}
 	var corruptLoop func(i int)
 	corruptLoop = func(i int) {
@@ -716,21 +947,30 @@ func (a *appSim) onFailure(ev failure.Event, k func()) {
 			mainLoop()
 			return
 		}
-		a.persistentWait(recovery, func() { corruptLoop(i + 1) })
+		a.persistentWait(recoveryGB, recovery, func() { corruptLoop(i + 1) }, k)
 	}
 	corruptLoop(0)
 }
 
-// persistentWait repeats blockedWait(dur) into the recovery bucket until
-// it completes without a voiding failure — the CPS form of crmodel's
+// persistentWait repeats a recovery-bucket wait until it completes
+// without a voiding failure — the CPS form of crmodel's
 // `for !a.blockedWait(p, dur, &a.res.Overheads.Recovery) {}` loops.
-func (a *appSim) persistentWait(dur float64, k func()) {
-	a.blockedWait(dur, &a.res.Overheads.Recovery, func(ok bool) {
+// gb > 0 marks the wait as a PFS restore read of that volume: on a
+// shared machine it contends at the arbiter as a ClassRecovery flow
+// (solo, or gb == 0, it is exactly blockedWait). trunc runs instead of
+// retrying when a voiding failure truncated the run (crmodel's
+// `if a.res.Truncated { return }` inside those loops).
+func (a *appSim) persistentWait(gb, dur float64, k, trunc func()) {
+	a.flowWait(ClassRecovery, gb, dur, &a.res.Overheads.Recovery, func(ok bool) {
 		if ok {
 			k()
 			return
 		}
-		a.persistentWait(dur, k)
+		if a.res.Truncated {
+			trunc()
+			return
+		}
+		a.persistentWait(gb, dur, k, trunc)
 	})
 }
 
@@ -744,9 +984,9 @@ func (a *appSim) injectLoop() {
 		if a.appDone {
 			return
 		}
-		if dt := ev.Time - a.eng.Now(); dt > 0 {
+		if dt := ev.Time - a.now(); dt > 0 {
 			ev := ev
-			a.eng.AtNamed(dt, "injector", func() { a.injectResume(ev) })
+			a.sched(dt, "injector", func() { a.injectResume(ev) })
 			return
 		}
 		a.deliver(ev)

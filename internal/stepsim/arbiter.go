@@ -1,0 +1,72 @@
+package stepsim
+
+// WriteClass labels a PFS transfer for the bandwidth arbiter of a
+// shared machine: the arbiter prices each class differently (the
+// vulnerable-node lane is prioritized machine-wide, drains contend for
+// shared drain slots). A solo run has no arbiter and never constructs
+// these.
+type WriteClass uint8
+
+const (
+	// ClassDrain is the asynchronous BB→PFS bleed-off of a periodic
+	// checkpoint. Drains additionally contend for the machine's shared
+	// drain slots.
+	ClassDrain WriteClass = iota
+	// ClassCollective is a blocking all-node PFS write: an M1 safeguard
+	// or the phase-2 p-ckpt commit.
+	ClassCollective
+	// ClassVulnerable is a vulnerable node's prioritized phase-1 write —
+	// the lane the arbiter serves ahead of fair-share traffic, so
+	// p-ckpt's prioritization is visible machine-wide.
+	ClassVulnerable
+	// ClassRecovery is the post-failure PFS restore read.
+	ClassRecovery
+)
+
+// String implements fmt.Stringer.
+func (c WriteClass) String() string {
+	switch c {
+	case ClassDrain:
+		return "drain"
+	case ClassCollective:
+		return "collective"
+	case ClassVulnerable:
+		return "vulnerable"
+	case ClassRecovery:
+		return "recovery"
+	}
+	return "unknown"
+}
+
+// FlowID identifies one in-flight transfer at the arbiter. The zero ID
+// is never issued.
+type FlowID int64
+
+// Arbiter is the shared-machine bandwidth control plane the step tier
+// routes its PFS transfers through when several applications contend
+// for one aggregate ceiling (see internal/machine). All methods run on
+// the simulation goroutine — an implementation schedules completions on
+// the same engine the apps run on and must never call done inline from
+// StartFlow.
+//
+// The contract mirrors the app's park/interrupt protocol: a blocking
+// write starts a flow and parks until done fires; an injector interrupt
+// suspends the flow (its bandwidth returns to the pool, its completion
+// timer stops) while the app handles events, then resumes it; a
+// voiding failure cancels it. Done fires exactly once, only while the
+// flow is neither suspended nor cancelled.
+type Arbiter interface {
+	// StartFlow registers a transfer of volumeGB for application app.
+	// soloSeconds is the transfer's uncontended duration — the arbiter
+	// derives the flow's solo bandwidth volumeGB/soloSeconds and never
+	// allocates more (contention can only slow a transfer down, never
+	// speed it past its solo price).
+	StartFlow(app int, class WriteClass, volumeGB, soloSeconds float64, done func()) FlowID
+	// SuspendFlow pauses the flow: remaining volume is frozen and its
+	// bandwidth is released to the other writers.
+	SuspendFlow(id FlowID)
+	// ResumeFlow restarts a suspended flow with its remaining volume.
+	ResumeFlow(id FlowID)
+	// CancelFlow abandons the flow; done will not fire.
+	CancelFlow(id FlowID)
+}

@@ -27,6 +27,7 @@ package stepsim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"pckpt/internal/queue"
@@ -174,6 +175,29 @@ func (e *Engine) AfterCancel(delay float64, name string, fn func()) Timer {
 	ev.fn = fn
 	ev.name = name
 	e.schedule(e.now+delay, ev)
+	return Timer{ev: ev}
+}
+
+// AtTimeNamed runs fn at absolute engine time at (clamped to now). An
+// offset-started app schedules every deadline this way — one uniform
+// t0+local rounding per event — so deadlines that tie in the app's
+// local clock still tie on the shared clock; re-deriving them from
+// eng.Now() at different moments would split such ties by an ulp and
+// reorder the run.
+func (e *Engine) AtTimeNamed(at float64, name string, fn func()) {
+	ev := e.newEvent()
+	ev.fn = fn
+	ev.name = name
+	e.schedule(math.Max(at, e.now), ev)
+}
+
+// AfterCancelAt is AfterCancel at an absolute engine time (clamped to
+// now).
+func (e *Engine) AfterCancelAt(at float64, name string, fn func()) Timer {
+	ev := e.newEvent()
+	ev.fn = fn
+	ev.name = name
+	e.schedule(math.Max(at, e.now), ev)
 	return Timer{ev: ev}
 }
 

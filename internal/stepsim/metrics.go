@@ -17,9 +17,11 @@ type runMetrics struct {
 	bbWrite *metrics.Histogram
 	// episodeDur / commitLat cover p-ckpt episodes: total blocked span
 	// per completed episode, and per-vulnerable-node commit latency from
-	// episode start to the node's prioritized PFS commit.
-	episodeDur *metrics.Histogram
-	commitLat  *metrics.Histogram
+	// episode start to the node's prioritized PFS commit; episodeWidth is
+	// the vulnerable+migrating population each episode opens against.
+	episodeDur   *metrics.Histogram
+	commitLat    *metrics.Histogram
+	episodeWidth *metrics.Histogram
 	// safeguardDur is the blocked span per completed M1 safeguard.
 	safeguardDur *metrics.Histogram
 	// recoveryDur is the restart latency per failure; recomputeLoss is
@@ -53,6 +55,7 @@ func newRunMetrics(r *metrics.Registry, m policy.ID) runMetrics {
 		bbWrite:           r.Histogram(p + "bb_write_seconds"),
 		episodeDur:        r.Histogram(p + "episode_seconds"),
 		commitLat:         r.Histogram(p + "episode_commit_latency_seconds"),
+		episodeWidth:      r.Histogram(p + "episode_width_nodes"),
 		safeguardDur:      r.Histogram(p + "safeguard_seconds"),
 		recoveryDur:       r.Histogram(p + "recovery_seconds"),
 		recomputeLoss:     r.Histogram(p + "recompute_loss_seconds"),

@@ -1,6 +1,7 @@
 package stepsim_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -101,6 +102,143 @@ func TestReplaySeedInvariant(t *testing.T) {
 	}
 }
 
+// TestSpareExhaustionBitIdentity is the spare-pool regression gate: at a
+// tiny spare count on a failure-heavy system, runs end truncated (the
+// old code panicked) — and they must end truncated IDENTICALLY on both
+// tiers: same Truncated marker, same wall time, same partial overheads,
+// bit for bit.
+func TestSpareExhaustionBitIdentity(t *testing.T) {
+	plat := platform.Config{
+		App:        workload.App{Name: "spare-exhaust", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
+		System:     failure.System{Name: "hostile", Shape: 0.75, ScaleHours: 6, Nodes: 48},
+		SpareNodes: 2,
+	}
+	truncated := 0
+	for _, id := range stepModels {
+		for seed := uint64(1); seed <= 8; seed++ {
+			app := crmodel.Simulate(crmodel.Config{Model: id, Config: plat}, seed)
+			step := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+			if app != step {
+				t.Errorf("%v seed %d: step tier diverged on spare exhaustion\napp:  %+v\nstep: %+v", id, seed, app, step)
+			}
+			if app.Truncated {
+				truncated++
+				if app.Failures <= plat.SpareNodes {
+					t.Errorf("%v seed %d: truncated after only %d failures with %d spares", id, seed, app.Failures, plat.SpareNodes)
+				}
+			}
+		}
+	}
+	if truncated == 0 {
+		t.Fatal("no run exhausted the 2-node spare pool: the regression path never executed")
+	}
+}
+
+// TestComputeResidualSnapTermination is the livelock regression gate:
+// on a failure-heavy platform, a rollback can land progress a sub-ULP
+// residual short of ComputeSeconds — simulated time can no longer
+// resolve the remaining wait, so progress froze while the run looped
+// compute-0s/checkpoint forever until the engine watchdog fired. The
+// compute loop now snaps residuals below a microsecond (as the
+// node-granular tier always did). This exact (platform, seed) pair spun
+// before the fix; it must now terminate, identically on both tiers.
+func TestComputeResidualSnapTermination(t *testing.T) {
+	plat := platform.Config{
+		App:    workload.App{Name: "tenant", Nodes: 16, TotalCkptGB: 320, ComputeHours: 4},
+		System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 2, Nodes: 16},
+	}
+	const seed = 14653447727327214218
+	app := crmodel.Simulate(crmodel.Config{Model: policy.P2, Config: plat}, seed)
+	step := stepsim.Simulate(stepsim.Config{Model: policy.P2, Config: plat}, seed)
+	if app != step {
+		t.Errorf("step tier diverged on the residual-snap path\napp:  %+v\nstep: %+v", app, step)
+	}
+	if app.Truncated {
+		t.Errorf("run truncated; want normal completion (wall %.0fs)", app.WallSeconds)
+	}
+	if app.WallSeconds <= plat.App.ComputeHours*3600 {
+		t.Errorf("wall %.0fs not above compute time — wrong (platform, seed) pinned?", app.WallSeconds)
+	}
+}
+
+// TestSpareExhaustionTraceParity pins the truncated timeline: both tiers
+// must record the same events and end with a truncated marker, not
+// complete.
+func TestSpareExhaustionTraceParity(t *testing.T) {
+	// P2 avoids most predicted failures by migration, so exhausting its
+	// spare pool takes a harsher recipe than the bit-identity matrix: a
+	// single spare, a predictor that misses 30% of failures, and node
+	// MTBFs of 3 hours.
+	plat := platform.Config{
+		App:        workload.App{Name: "spare-exhaust", Nodes: 48, TotalCkptGB: 960, ComputeHours: 24},
+		System:     failure.System{Name: "hostile", Shape: 0.75, ScaleHours: 3, Nodes: 48},
+		FNRate:     0.3,
+		FPRate:     0.05,
+		SpareNodes: 1,
+	}
+	for seed := uint64(1); seed <= 12; seed++ {
+		var appBuf, stepBuf trace.Buffer
+		res := crmodel.Simulate(crmodel.Config{Model: policy.P2, Config: plat, Trace: &appBuf}, seed)
+		stepsim.Simulate(stepsim.Config{Model: policy.P2, Config: plat, Trace: &stepBuf}, seed)
+		if appBuf.Len() != stepBuf.Len() {
+			t.Fatalf("seed %d: timeline length %d vs %d", seed, appBuf.Len(), stepBuf.Len())
+		}
+		for i, ae := range appBuf.Events() {
+			if se := stepBuf.Events()[i]; ae != se {
+				t.Fatalf("seed %d: timeline diverges at entry %d\napp:  %+v\nstep: %+v", seed, i, ae, se)
+			}
+		}
+		if !res.Truncated {
+			continue
+		}
+		events := appBuf.Events()
+		last := events[len(events)-1]
+		sawTrunc := false
+		for _, e := range events {
+			if e.Kind == trace.Truncated {
+				sawTrunc = true
+			}
+			if e.Kind == trace.Complete {
+				t.Fatalf("seed %d: truncated run recorded a complete event", seed)
+			}
+		}
+		if !sawTrunc {
+			t.Fatalf("seed %d: truncated run's timeline has no truncated event (last: %+v)", seed, last)
+		}
+		return // one truncated timeline verified end to end is enough
+	}
+	t.Fatal("no seed truncated under P2: the trace-parity path never executed")
+}
+
+// TestMigrationSupersedeBitIdentity exercises the supersede-during-
+// migration path (a p-ckpt episode aborting in-flight migrations, and
+// re-predictions landing on Migrating nodes) on a lead-stretched hybrid
+// platform, and holds both tiers bit-identical through it.
+func TestMigrationSupersedeBitIdentity(t *testing.T) {
+	// A checkpoint-heavy app (170 GB/node) pushes θ to ≈41 s — the middle
+	// of the lead distribution — so hybrids migrate on long leads AND
+	// start episodes on short ones, and 1-hour node MTBFs make short-lead
+	// predictions land inside the ≈41 s migration windows.
+	plat := platform.Config{
+		App:    workload.App{Name: "supersede", Nodes: 48, TotalCkptGB: 8160, ComputeHours: 24},
+		System: failure.System{Name: "busy", Shape: 0.75, ScaleHours: 1, Nodes: 48},
+	}
+	aborted := 0
+	for _, id := range []policy.ID{policy.M2, policy.P2} {
+		for seed := uint64(1); seed <= 12; seed++ {
+			app := crmodel.Simulate(crmodel.Config{Model: id, Config: plat}, seed)
+			step := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+			if app != step {
+				t.Errorf("%v seed %d: step tier diverged on supersede path\napp:  %+v\nstep: %+v", id, seed, app, step)
+			}
+			aborted += app.AbortedMigrations
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("no migration was superseded: the regression path never executed")
+	}
+}
+
 // TestTraceTimelineParity compares the recorded timelines event for
 // event: not just the final accounting but every intermediate state
 // transition must land at the same time, node, and progress.
@@ -175,5 +313,57 @@ func TestValidateRejectsInvalidModel(t *testing.T) {
 		if err := (stepsim.Config{Model: id, Config: plat}).Validate(); err != nil {
 			t.Errorf("Validate rejected catalogue model %v: %v", id, err)
 		}
+	}
+}
+
+// TestStartAppOffsetIdentity: an app started mid-run on a shared engine
+// (no arbiter) computes the same run a solo Simulate does — the
+// app-local time base keeps every stream comparison and decision in
+// job-relative seconds, so the event sequence and all integer
+// accounting match exactly. The float buckets are sums of
+// (t0+x)-t0 differences, so they agree to last-ulp tolerance rather
+// than bit-for-bit.
+func TestStartAppOffsetIdentity(t *testing.T) {
+	relClose := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))+1e-9
+	}
+	for name, plat := range testPlatforms() {
+		plat := plat
+		t.Run(name, func(t *testing.T) {
+			for _, id := range stepModels {
+				for seed := uint64(1); seed <= 4; seed++ {
+					solo := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+					eng := stepsim.NewEngine()
+					var h *stepsim.AppHandle
+					// Admit the app at t=98765.4321s of machine time.
+					eng.At(98765.4321, func() {
+						h = stepsim.StartApp(eng, stepsim.Config{Model: id, Config: plat}, seed, stepsim.AppOptions{AppIndex: 3})
+					})
+					eng.RunAll()
+					if !h.Done() {
+						t.Fatalf("%v seed %d: offset app never finished", id, seed)
+					}
+					got := h.Result()
+					eng.Release()
+					for _, c := range []struct {
+						name      string
+						got, want float64
+					}{
+						{"WallSeconds", got.WallSeconds, solo.WallSeconds},
+						{"Overheads.Checkpoint", got.Overheads.Checkpoint, solo.Overheads.Checkpoint},
+						{"Overheads.Recompute", got.Overheads.Recompute, solo.Overheads.Recompute},
+						{"Overheads.Recovery", got.Overheads.Recovery, solo.Overheads.Recovery},
+					} {
+						if !relClose(c.got, c.want) {
+							t.Fatalf("%v seed %d: %s = %v, solo %v", id, seed, c.name, c.got, c.want)
+						}
+					}
+					got.WallSeconds, got.Overheads = solo.WallSeconds, solo.Overheads
+					if got != solo {
+						t.Fatalf("%v seed %d: offset-start accounting differs from solo\nsolo:   %+v\noffset: %+v", id, seed, solo, got)
+					}
+				}
+			}
+		})
 	}
 }

@@ -47,6 +47,9 @@ const (
 	RecoveryDone
 	// Complete: the application finished.
 	Complete
+	// Truncated: the platform killed the job early (spare pool exhausted
+	// when a failure struck).
+	Truncated
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +59,7 @@ func (k Kind) String() string {
 		"migration-start", "migration-done", "migration-aborted",
 		"episode-start", "episode-end", "safeguard-start", "safeguard-end",
 		"vulnerable-commit", "failure", "recovery-done", "complete",
+		"truncated",
 	}
 	if int(k) < len(names) {
 		return names[k]
