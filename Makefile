@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-contention golden-update spec-validate cachepass race-machine bench bench-step bench-step-smoke bench-smoke ci
+.PHONY: build test race vet fmt-check errcheck crossval golden golden-degraded golden-scenario golden-contention golden-machine-degraded golden-update spec-validate cachepass race-machine bench bench-step bench-step-smoke bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ golden-scenario:
 # order, or the offset-start clock identity shows up as a cell diff.
 golden-contention:
 	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/contention' ./internal/experiments
+
+# golden-machine-degraded gates the machine-scope fault-domain
+# experiment: its golden pins the brownout repricing schedule, the
+# drain-outage requeue order, the crash/requeue/give-up lifecycle, and
+# the starvation-watchdog escalations — a stray draw on any machine
+# fault substream reshuffles every cell.
+golden-machine-degraded:
+	$(GO) test -race -timeout 30m -count=1 -run 'TestGolden/machine-degraded' ./internal/experiments
 
 # spec-validate checks every committed scenario spec and failure trace
 # (examples/ plus the specs embedded in the scenario experiment) through
@@ -132,9 +140,9 @@ errcheck:
 # bit-identity matrix — all five models, episode machinery included —
 # a focused race pass over the shared-machine arbiter/admission layer,
 # the golden-table regression suite plus explicit degraded-platform,
-# scenario, and contention golden gates, the cold-then-warm cache pass,
-# and one-iteration smoke runs of the full benchmark suite and the
-# step-vs-process headroom pairs.
+# scenario, contention, and machine-degraded golden gates, the
+# cold-then-warm cache pass, and one-iteration smoke runs of the full
+# benchmark suite and the step-vs-process headroom pairs.
 ci:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
@@ -149,6 +157,7 @@ ci:
 	$(MAKE) golden-degraded
 	$(MAKE) golden-scenario
 	$(MAKE) golden-contention
+	$(MAKE) golden-machine-degraded
 	$(MAKE) cachepass
 	$(MAKE) bench-smoke
 	$(MAKE) bench-step-smoke

@@ -76,6 +76,16 @@ func main() {
 		injCascade = flag.Float64("inject-cascade", 0, "degraded platform: secondary-failure probability per recovery window")
 		injRetries = flag.Int("inject-retries", 0, "degraded platform: restart retry bound (0 = default)")
 		injBackoff = flag.Float64("inject-backoff", 0, "degraded platform: base restart backoff seconds, doubling per attempt (0 = default)")
+
+		mBrownRate  = flag.Float64("machine-brownout-rate", 0, "machine faults: PFS brownout windows per hour (shared-machine experiments)")
+		mBrownMean  = flag.Float64("machine-brownout-mean", 0, "machine faults: mean brownout window seconds (0 = default)")
+		mBlackout   = flag.Float64("machine-blackout-prob", 0, "machine faults: probability a brownout is a full blackout (ceiling zero)")
+		mDrainRate  = flag.Float64("machine-drain-outage-rate", 0, "machine faults: drain-slot outages per hour")
+		mDrainSlots = flag.Int("machine-drain-outage-slots", 0, "machine faults: drain slots removed per outage (0 = default)")
+		mCrashRate  = flag.Float64("machine-crash-rate", 0, "machine faults: rack crashes per hour (tenants crash and requeue)")
+		mCrashRetry = flag.Int("machine-crash-retries", 0, "machine faults: crash readmissions per job before the run truncates (0 = default)")
+		mCrashBack  = flag.Float64("machine-crash-backoff", 0, "machine faults: base requeue backoff seconds, doubling per crash (0 = default)")
+		mEscalate   = flag.Float64("machine-starve-escalation", 0, "machine faults: starvation-watchdog bound seconds (0 = watchdog off)")
 	)
 	flag.Parse()
 
@@ -121,6 +131,18 @@ func main() {
 		RestartBackoffSeconds: *injBackoff,
 	}
 	exitOn(p.Faults.Validate())
+	p.MachineFaults = faultinject.MachineConfig{
+		BrownoutRatePerHour:         *mBrownRate,
+		BrownoutMeanSeconds:         *mBrownMean,
+		BlackoutProb:                *mBlackout,
+		DrainOutageRatePerHour:      *mDrainRate,
+		DrainOutageSlots:            *mDrainSlots,
+		CrashRatePerHour:            *mCrashRate,
+		CrashMaxRetries:             *mCrashRetry,
+		CrashBackoffSeconds:         *mCrashBack,
+		StarvationEscalationSeconds: *mEscalate,
+	}
+	exitOn(p.MachineFaults.Validate())
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")
 	}

@@ -61,6 +61,16 @@ func main() {
 		injRetries = flag.Int("inject-retries", 0, "degraded platform: restart retry bound (0 = default)")
 		injBackoff = flag.Float64("inject-backoff", 0, "degraded platform: base restart backoff seconds, doubling per attempt (0 = default)")
 
+		mBrownRate  = flag.Float64("machine-brownout-rate", 0, "machine faults (-spec with machine block): PFS brownout windows per hour")
+		mBrownMean  = flag.Float64("machine-brownout-mean", 0, "machine faults: mean brownout window seconds (0 = default)")
+		mBlackout   = flag.Float64("machine-blackout-prob", 0, "machine faults: probability a brownout is a full blackout (ceiling zero)")
+		mDrainRate  = flag.Float64("machine-drain-outage-rate", 0, "machine faults: drain-slot outages per hour")
+		mDrainSlots = flag.Int("machine-drain-outage-slots", 0, "machine faults: drain slots removed per outage (0 = default)")
+		mCrashRate  = flag.Float64("machine-crash-rate", 0, "machine faults: rack crashes per hour (tenants crash and requeue)")
+		mCrashRetry = flag.Int("machine-crash-retries", 0, "machine faults: crash readmissions per job before the run truncates (0 = default)")
+		mCrashBack  = flag.Float64("machine-crash-backoff", 0, "machine faults: base requeue backoff seconds, doubling per crash (0 = default)")
+		mEscalate   = flag.Float64("machine-starve-escalation", 0, "machine faults: starvation-watchdog bound seconds (0 = watchdog off)")
+
 		meter      = flag.Bool("metrics", false, "meter the runs and print the merged metrics summary")
 		metricsOut = flag.String("metrics-out", "pckpt-metrics.json", "metrics snapshot JSON path (with -metrics)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -104,11 +114,26 @@ func main() {
 			injCascade: *injCascade,
 			injBackoff: *injBackoff,
 			injRetries: *injRetries,
+
+			mBrownRate:    *mBrownRate,
+			mBrownMean:    *mBrownMean,
+			mBlackout:     *mBlackout,
+			mDrainRate:    *mDrainRate,
+			mDrainSlots:   *mDrainSlots,
+			mCrashRate:    *mCrashRate,
+			mCrashRetries: *mCrashRetry,
+			mCrashBack:    *mCrashBack,
+			mEscalate:     *mEscalate,
 		}))
 		return
 	}
 	if *cacheDir != "" {
 		exitOn(fmt.Errorf("pckpt-sim: -cache requires -spec (flag mode always simulates)"))
+	}
+	for _, name := range machineFlags {
+		if set[name] {
+			exitOn(fmt.Errorf("pckpt-sim: -%s requires -spec with a machine block (machine faults degrade a shared machine, not a solo run)", name))
+		}
 	}
 
 	app, err := workload.ByName(*appName)

@@ -36,6 +36,9 @@ type specOverrides struct {
 
 	injBB, injPFS, injCorrupt, injRestart, injCascade, injBackoff float64
 	injRetries                                                    int
+
+	mBrownRate, mBrownMean, mBlackout, mDrainRate, mCrashRate, mCrashBack, mEscalate float64
+	mDrainSlots, mCrashRetries                                                       int
 }
 
 // explicitFlags records which flags the command line actually set.
@@ -88,7 +91,36 @@ func applyOverrides(s *scenario.Spec, ov specOverrides) *scenario.Spec {
 	inject("inject-cascade", func(f *scenario.FaultSpec) { f.CascadeProb = ov.injCascade })
 	inject("inject-retries", func(f *scenario.FaultSpec) { f.RestartRetries = ov.injRetries })
 	inject("inject-backoff", func(f *scenario.FaultSpec) { f.RestartBackoffSeconds = ov.injBackoff })
+	if s.Machine != nil {
+		minject := func(name string, apply func(*scenario.MachineFaultSpec)) {
+			if !ov.set[name] {
+				return
+			}
+			if s.Machine.Faults == nil {
+				s.Machine.Faults = &scenario.MachineFaultSpec{}
+			}
+			apply(s.Machine.Faults)
+		}
+		minject("machine-brownout-rate", func(f *scenario.MachineFaultSpec) { f.BrownoutRatePerHour = ov.mBrownRate })
+		minject("machine-brownout-mean", func(f *scenario.MachineFaultSpec) { f.BrownoutMeanSeconds = ov.mBrownMean })
+		minject("machine-blackout-prob", func(f *scenario.MachineFaultSpec) { f.BlackoutProb = ov.mBlackout })
+		minject("machine-drain-outage-rate", func(f *scenario.MachineFaultSpec) { f.DrainOutageRatePerHour = ov.mDrainRate })
+		minject("machine-drain-outage-slots", func(f *scenario.MachineFaultSpec) { f.DrainOutageSlots = ov.mDrainSlots })
+		minject("machine-crash-rate", func(f *scenario.MachineFaultSpec) { f.CrashRatePerHour = ov.mCrashRate })
+		minject("machine-crash-retries", func(f *scenario.MachineFaultSpec) { f.CrashMaxRetries = ov.mCrashRetries })
+		minject("machine-crash-backoff", func(f *scenario.MachineFaultSpec) { f.CrashBackoffSeconds = ov.mCrashBack })
+		minject("machine-starve-escalation", func(f *scenario.MachineFaultSpec) { f.StarvationEscalationSeconds = ov.mEscalate })
+	}
 	return s
+}
+
+// machineFlags are the -machine-* overrides; they only mean something
+// for a spec with a machine block.
+var machineFlags = []string{
+	"machine-brownout-rate", "machine-brownout-mean", "machine-blackout-prob",
+	"machine-drain-outage-rate", "machine-drain-outage-slots",
+	"machine-crash-rate", "machine-crash-retries", "machine-crash-backoff",
+	"machine-starve-escalation",
 }
 
 // runSpec executes one scenario spec: every cohort × policy cell
@@ -110,6 +142,13 @@ func runSpec(path, cacheDir string, tier experiments.Tier, ov specOverrides) err
 	s, err := scenario.Load(path)
 	if err != nil {
 		return err
+	}
+	if s.Machine == nil {
+		for _, name := range machineFlags {
+			if ov.set[name] {
+				return fmt.Errorf("pckpt-sim: -%s needs a spec with a machine block (the machine-fault plan degrades a shared machine, not a solo run)", name)
+			}
+		}
 	}
 	s = applyOverrides(s, ov)
 	if s.Machine != nil {
@@ -197,34 +236,57 @@ func runMachineSpec(s *scenario.Spec, cacheDir string) error {
 
 	results := machine.SimulateN(cfg, s.Runs, s.Seed, runtime.GOMAXPROCS(0))
 	n := float64(len(results))
-	type agg struct{ wall, slow, wait, starve float64 }
+	type agg struct {
+		wall, slow, wait, starve float64
+		crashes, trunc           int
+	}
 	per := make([]agg, len(cfg.Jobs))
-	makespan, peak := 0.0, 0.0
+	makespan, peak, brownS := 0.0, 0.0, 0.0
+	brown, outages, crashes, requeues, escal := 0, 0, 0, 0, 0
 	for _, res := range results {
 		for i, jr := range res.Jobs {
 			per[i].wall += jr.Run.WallSeconds
 			per[i].slow += jr.SlowdownX
 			per[i].wait += jr.QueueWaitSeconds
 			per[i].starve += jr.StarvationSeconds
+			per[i].crashes += jr.Crashes
+			if jr.Run.Truncated {
+				per[i].trunc++
+			}
 		}
 		makespan += res.MakespanSeconds
 		if res.PeakAllocGBs > peak {
 			peak = res.PeakAllocGBs
 		}
+		brown += res.Brownouts
+		brownS += res.BrownoutSeconds
+		outages += res.DrainOutages
+		crashes += res.TenantCrashes
+		requeues += res.CrashRequeues
+		escal += res.Escalations
 	}
 
-	t := tablefmt.NewTable("Tenant", "Model", "Arrive(s)", "Wall(h)", "Slowdown(x)", "QueueWait(s)", "Starve(s)")
+	// Truncations and per-tenant fault counts are part of the outcome —
+	// a tenant that gave up after its crash-retry budget, or truncated on
+	// spare exhaustion, must not be read as a completed run.
+	t := tablefmt.NewTable("Tenant", "Model", "Arrive(s)", "Wall(h)", "Slowdown(x)", "QueueWait(s)", "Starve(s)", "Crashes", "Trunc(frac)")
 	for i, a := range per {
 		t.AddRow(cfgs[i].Label, cfgs[i].Policy.String(),
 			fmt.Sprintf("%.0f", cfg.Jobs[i].ArrivalSeconds),
 			tablefmt.Hours(a.wall/n),
 			fmt.Sprintf("%.3f", a.slow/n),
 			fmt.Sprintf("%.1f", a.wait/n),
-			fmt.Sprintf("%.1f", a.starve/n))
+			fmt.Sprintf("%.1f", a.starve/n),
+			fmt.Sprintf("%.2f", float64(a.crashes)/n),
+			fmt.Sprintf("%.2f", float64(a.trunc)/n))
 	}
 	fmt.Println(t.String())
 	fmt.Printf("mean makespan %s, peak aggregate PFS allocation %.2f GB/s\n",
 		tablefmt.Hours(makespan/n), peak)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("machine faults per run: %.2f brownouts (%.0fs), %.2f drain outages, %.2f tenant crashes, %.2f requeues, %.2f starvation escalations\n",
+			float64(brown)/n, brownS/n, float64(outages)/n, float64(crashes)/n, float64(requeues)/n, float64(escal)/n)
+	}
 	return nil
 }
 

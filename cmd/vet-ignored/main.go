@@ -51,6 +51,16 @@ var injectorHooks = map[string]bool{
 	"CorruptCommit":       true, // Injector.CorruptCommit
 	"RestartAttemptFails": true, // Injector.RestartAttemptFails
 	"CascadeRecovery":     true, // Injector.CascadeRecovery
+
+	// Machine-scope injector draws: a dropped gap or window both loses
+	// the fault event and shifts every later draw on that substream.
+	"NextBrownoutGap":     true, // MachineInjector.NextBrownoutGap
+	"BrownoutWindow":      true, // MachineInjector.BrownoutWindow
+	"NextDrainOutageGap":  true, // MachineInjector.NextDrainOutageGap
+	"DrainOutageWindow":   true, // MachineInjector.DrainOutageWindow
+	"NextCrashGap":        true, // MachineInjector.NextCrashGap
+	"CrashRack":           true, // MachineInjector.CrashRack
+	"CrashBackoffSeconds": true, // MachineInjector.CrashBackoffSeconds
 }
 
 // validators are zero-argument error-returning checks whose entire point

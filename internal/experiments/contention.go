@@ -47,6 +47,9 @@ func contentionCohort() machine.Config {
 func Contention(p Params) Result {
 	p = p.withDefaults()
 	cfg := contentionCohort()
+	// -machine-* flags degrade this cohort too; the zero plan keeps the
+	// experiment bit-identical to the pre-fault build.
+	cfg.Faults = p.MachineFaults
 	seed := configSeed(p.Seed, "contention")
 	results := machine.SimulateN(cfg, p.Runs, seed, p.Workers)
 

@@ -32,6 +32,11 @@ func TestWorkersDeterminism(t *testing.T) {
 		// clock) per run; the machine driver must parallelize across
 		// runs without perturbing any of them.
 		{"contention", Params{Runs: 20, Seed: 42}},
+		// machine-degraded arms the machine-scope fault plan on top:
+		// brownout repricings, drain-slot outages, and crash/requeue
+		// lifecycles must all replay bit-identically per run seed no
+		// matter which worker runs them.
+		{"machine-degraded", Params{Runs: 20, Seed: 42}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -65,6 +65,12 @@ type Params struct {
 	// degraded sweeps never collide with clean ones; the zero value
 	// leaves every experiment bit-identical to an injection-free build.
 	Faults faultinject.Config
+	// MachineFaults, when enabled, arms the machine-scope fault plan
+	// (PFS brownouts, drain-slot outages, tenant crashes, starvation
+	// watchdog) for the shared-machine experiments (cmd/experiments
+	// -machine-* flags). Only contention and machine-degraded honour it;
+	// neither is cached, so the plan needs no cache-key plumbing.
+	MachineFaults faultinject.MachineConfig
 	// SweepTier names the registry tier experiment sweeps simulate on;
 	// empty selects the step tier. The tier must be bit-identical to the
 	// reference (cache keys are tier-agnostic, so a cached aggregate must
@@ -144,6 +150,7 @@ func All() []Def {
 		{"degraded", "Extension: degraded platform — injected write failures, corruption, restart retries", Degraded},
 		{"scenario", "Extension: declarative scenario specs — cohorts, platforms, failure-trace replay", Scenario},
 		{"contention", "Extension: multi-tenant contention — shared PFS bandwidth arbitration and admission", Contention},
+		{"machine-degraded", "Extension: machine-scope fault domains — PFS brownouts, tenant crashes with requeue, bounded-starvation degradation", MachineDegraded},
 	}
 }
 

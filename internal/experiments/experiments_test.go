@@ -12,8 +12,8 @@ var fastParams = Params{Runs: 80, Seed: 42}
 
 func TestRegistryComplete(t *testing.T) {
 	defs := All()
-	if len(defs) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(defs))
+	if len(defs) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {

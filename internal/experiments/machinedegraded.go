@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pckpt/internal/faultinject"
+	"pckpt/internal/machine"
+	"pckpt/internal/tablefmt"
+)
+
+// machineDegradedConfig is the contention cohort under machine-scope
+// fault domains: the M1 and P2 tenants share one rack (one crash draw
+// strikes both), the late B tenant sits alone, and the machine itself
+// degrades — PFS brownout/blackout windows move the arbiter ceiling,
+// drain-slot outages requeue in-flight drains, rack crashes throw
+// running tenants back through admission with bounded retries, and the
+// starvation watchdog escalates any flow starved past its bound into
+// the priority lane.
+func machineDegradedConfig(faults faultinject.MachineConfig) machine.Config {
+	cfg := contentionCohort()
+	cfg.MaxConcurrentDrains = 2
+	cfg.Racks = []int{0, 0, 1}
+	cfg.Faults = faults
+	return cfg
+}
+
+// machineDegradedFaults is the experiment's default armed plan — every
+// fault process on at a moderate rate, so one golden pins the brownout
+// repricing, the drain requeue, the crash lifecycle (requeues and
+// retry-exhausted truncations both occur at these rates), and the
+// watchdog escalations at once.
+func machineDegradedFaults() faultinject.MachineConfig {
+	return faultinject.MachineConfig{
+		BrownoutRatePerHour:         0.5,
+		BrownoutMeanSeconds:         600,
+		BrownoutMinFactor:           0.2,
+		BrownoutMaxFactor:           0.6,
+		BlackoutProb:                0.25,
+		DrainOutageRatePerHour:      0.4,
+		DrainOutageMeanSeconds:      300,
+		DrainOutageSlots:            2,
+		CrashRatePerHour:            0.12,
+		CrashMaxRetries:             2,
+		CrashBackoffSeconds:         600,
+		StarvationEscalationSeconds: 900,
+	}
+}
+
+// MachineDegraded runs the shared-machine cohort with the machine-scope
+// fault plan armed: per-tenant slowdown, crash and truncation counts,
+// and starvation stretches under PFS brownouts, drain outages, and
+// correlated rack crashes. A -machine-* flag set replaces the default
+// plan wholesale.
+func MachineDegraded(p Params) Result {
+	p = p.withDefaults()
+	faults := machineDegradedFaults()
+	if p.MachineFaults.Enabled() {
+		faults = p.MachineFaults
+	}
+	cfg := machineDegradedConfig(faults)
+	seed := configSeed(p.Seed, "machine-degraded")
+	results := machine.SimulateN(cfg, p.Runs, seed, p.Workers)
+
+	n := float64(len(results))
+	type agg struct {
+		slow, wait, starve, stretch, wall float64
+		crashes, trunc                    int
+	}
+	jobs := make([]agg, len(cfg.Jobs))
+	makespan, peak, brownS := 0.0, 0.0, 0.0
+	brown, outages, crashes, requeues, escal := 0, 0, 0, 0, 0
+	for _, res := range results {
+		for i, jr := range res.Jobs {
+			jobs[i].slow += jr.SlowdownX
+			jobs[i].wait += jr.QueueWaitSeconds
+			jobs[i].starve += jr.StarvationSeconds
+			jobs[i].stretch += jr.MaxStarvationStretchSeconds
+			jobs[i].wall += jr.Run.WallSeconds
+			jobs[i].crashes += jr.Crashes
+			if jr.Run.Truncated {
+				jobs[i].trunc++
+			}
+		}
+		makespan += res.MakespanSeconds
+		if res.PeakAllocGBs > peak {
+			peak = res.PeakAllocGBs
+		}
+		brown += res.Brownouts
+		brownS += res.BrownoutSeconds
+		outages += res.DrainOutages
+		crashes += res.TenantCrashes
+		requeues += res.CrashRequeues
+		escal += res.Escalations
+	}
+
+	t := tablefmt.NewTable("Job", "Model", "Rack", "Wall(h)", "Slowdown(x)", "QueueWait(s)", "Starve(s)", "MaxStretch(s)", "Crashes", "Trunc(frac)")
+	values := map[string]float64{}
+	for i, a := range jobs {
+		j := cfg.Jobs[i]
+		t.AddRow(
+			fmt.Sprintf("%d", i),
+			j.Model.String(),
+			fmt.Sprintf("%d", cfg.Racks[i]),
+			fmt.Sprintf("%.2f", a.wall/n/3600),
+			fmt.Sprintf("%.3f", a.slow/n),
+			fmt.Sprintf("%.1f", a.wait/n),
+			fmt.Sprintf("%.1f", a.starve/n),
+			fmt.Sprintf("%.1f", a.stretch/n),
+			fmt.Sprintf("%.2f", float64(a.crashes)/n),
+			fmt.Sprintf("%.2f", float64(a.trunc)/n),
+		)
+		key := fmt.Sprintf("job%d/%s", i, j.Model)
+		values[key+"/slowdown-x"] = a.slow / n
+		values[key+"/queue-wait-s"] = a.wait / n
+		values[key+"/starve-s"] = a.starve / n
+		values[key+"/max-stretch-s"] = a.stretch / n
+		values[key+"/crashes"] = float64(a.crashes) / n
+		values[key+"/truncated-frac"] = float64(a.trunc) / n
+	}
+	values["makespan-h"] = makespan / n / 3600
+	values["peak-alloc-gbs"] = peak
+	values["brownouts"] = float64(brown) / n
+	values["brownout-s"] = brownS / n
+	values["drain-outages"] = float64(outages) / n
+	values["tenant-crashes"] = float64(crashes) / n
+	values["crash-requeues"] = float64(requeues) / n
+	values["escalations"] = float64(escal) / n
+
+	text := t.String() + fmt.Sprintf(
+		"\n(machine-scope fault domains over the contention cohort: %.2f brownout windows/run\n"+
+			" (%.0fs mean total, blackout prob %.2f), %.2f drain outages/run, %.2f tenant crashes/run\n"+
+			" with %.2f requeues; watchdog bound %.0fs fired %.2f escalations/run;\n"+
+			" mean makespan %.2fh, peak aggregate allocation %.2f GB/s never exceeds the live ceiling)\n",
+		float64(brown)/n, brownS/n, faults.BlackoutProb, float64(outages)/n,
+		float64(crashes)/n, float64(requeues)/n,
+		faults.StarvationEscalationSeconds, float64(escal)/n,
+		makespan/n/3600, peak)
+	return Result{
+		ID:     "machine-degraded",
+		Title:  "Extension: machine-scope fault domains — PFS brownouts, tenant crashes with requeue, bounded-starvation degradation",
+		Text:   text,
+		Values: values,
+	}
+}

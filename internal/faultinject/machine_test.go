@@ -1,0 +1,217 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"pckpt/internal/rng"
+)
+
+func TestMachineConfigValidate(t *testing.T) {
+	ok := MachineConfig{
+		BrownoutRatePerHour: 0.5, BrownoutMeanSeconds: 600,
+		BrownoutMinFactor: 0.2, BrownoutMaxFactor: 0.6, BlackoutProb: 0.25,
+		DrainOutageRatePerHour: 0.4, DrainOutageSlots: 2,
+		CrashRatePerHour: 0.1, CrashMaxRetries: 3, CrashBackoffSeconds: 300,
+		StarvationEscalationSeconds: 900,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid machine plan rejected: %v", err)
+	}
+	if err := (MachineConfig{}).Validate(); err != nil {
+		t.Fatalf("zero (healthy) plan rejected: %v", err)
+	}
+	bad := []MachineConfig{
+		{BrownoutRatePerHour: -1},
+		{BrownoutMeanSeconds: math.NaN()},
+		{BrownoutMinFactor: 0.8, BrownoutMaxFactor: 0.2}, // min > max
+		{BrownoutMaxFactor: 1.5},
+		{BrownoutMinFactor: -0.1, BrownoutMaxFactor: 0},
+		{BlackoutProb: 1.1},
+		{BlackoutProb: math.NaN()},
+		{DrainOutageRatePerHour: math.Inf(1)},
+		{DrainOutageSlots: -1},
+		{CrashRatePerHour: -2},
+		{CrashMaxRetries: -1},
+		{CrashBackoffSeconds: -5},
+		{StarvationEscalationSeconds: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid machine plan accepted: %+v", c)
+		}
+	}
+}
+
+// WithDefaults fills only the processes that are enabled, is idempotent,
+// and leaves the zero plan zero.
+func TestMachineConfigWithDefaults(t *testing.T) {
+	if got := (MachineConfig{}).WithDefaults(); got != (MachineConfig{}) {
+		t.Fatalf("zero plan gained defaults: %+v", got)
+	}
+	c := MachineConfig{BrownoutRatePerHour: 1, DrainOutageRatePerHour: 1, CrashRatePerHour: 1}.WithDefaults()
+	if c.BrownoutMeanSeconds != DefaultBrownoutMeanSeconds ||
+		c.BrownoutMinFactor != DefaultBrownoutMinFactor ||
+		c.BrownoutMaxFactor != DefaultBrownoutMaxFactor {
+		t.Fatalf("brownout defaults not applied: %+v", c)
+	}
+	if c.DrainOutageMeanSeconds != DefaultDrainOutageMeanSeconds || c.DrainOutageSlots != DefaultDrainOutageSlots {
+		t.Fatalf("drain-outage defaults not applied: %+v", c)
+	}
+	if c.CrashMaxRetries != DefaultCrashMaxRetries || c.CrashBackoffSeconds != DefaultCrashBackoffSeconds {
+		t.Fatalf("crash defaults not applied: %+v", c)
+	}
+	if c2 := c.WithDefaults(); c2 != c {
+		t.Fatalf("WithDefaults is not idempotent:\n%+v\nvs\n%+v", c, c2)
+	}
+	// An explicit min factor alone must not drag in the default max
+	// (min==max pins the factor).
+	pinned := MachineConfig{BrownoutRatePerHour: 1, BrownoutMinFactor: 0.5, BrownoutMaxFactor: 0.5}.WithDefaults()
+	if pinned.BrownoutMinFactor != 0.5 || pinned.BrownoutMaxFactor != 0.5 {
+		t.Fatalf("pinned factor overwritten: %+v", pinned)
+	}
+	// Disabled processes stay unfilled.
+	if got := (MachineConfig{StarvationEscalationSeconds: 900}).WithDefaults(); got.CrashBackoffSeconds != 0 || got.BrownoutMeanSeconds != 0 {
+		t.Fatalf("watchdog-only plan gained process defaults: %+v", got)
+	}
+}
+
+func TestMachineConfigEnabled(t *testing.T) {
+	if (MachineConfig{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	for _, c := range []MachineConfig{
+		{BrownoutRatePerHour: 0.1},
+		{DrainOutageRatePerHour: 0.1},
+		{CrashRatePerHour: 0.1},
+		{StarvationEscalationSeconds: 1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("armed plan reports disabled: %+v", c)
+		}
+	}
+}
+
+// A zero plan builds the nil injector, and every nil draw is a safe
+// no-op: infinite gaps, identity windows, zero backoff.
+func TestMachineInjectorNilSafe(t *testing.T) {
+	in := NewMachine(MachineConfig{}, rng.New(1).Split(MachineStreamKey))
+	if in != nil {
+		t.Fatal("zero plan built a live injector")
+	}
+	if g := in.NextBrownoutGap(); !math.IsInf(g, 1) {
+		t.Errorf("nil NextBrownoutGap = %g, want +Inf", g)
+	}
+	if d, f := in.BrownoutWindow(); d != 0 || f != 1 {
+		t.Errorf("nil BrownoutWindow = (%g, %g), want (0, 1)", d, f)
+	}
+	if g := in.NextDrainOutageGap(); !math.IsInf(g, 1) {
+		t.Errorf("nil NextDrainOutageGap = %g, want +Inf", g)
+	}
+	if d, s := in.DrainOutageWindow(); d != 0 || s != 0 {
+		t.Errorf("nil DrainOutageWindow = (%g, %d), want (0, 0)", d, s)
+	}
+	if g := in.NextCrashGap(); !math.IsInf(g, 1) {
+		t.Errorf("nil NextCrashGap = %g, want +Inf", g)
+	}
+	if r := in.CrashRack(4); r != 0 {
+		t.Errorf("nil CrashRack = %d, want 0", r)
+	}
+	if b := in.CrashBackoffSeconds(3); b != 0 {
+		t.Errorf("nil CrashBackoffSeconds = %g, want 0", b)
+	}
+	if got := in.MachineConfig(); got != (MachineConfig{}) {
+		t.Errorf("nil MachineConfig = %+v, want zero", got)
+	}
+}
+
+// A disabled process on a live injector draws nothing from its
+// substream: the gap is infinite and the window is the identity.
+func TestMachineInjectorDisabledProcessDrawsNothing(t *testing.T) {
+	in := NewMachine(MachineConfig{CrashRatePerHour: 1}, rng.New(1).Split(MachineStreamKey))
+	if in == nil {
+		t.Fatal("crash-armed plan built no injector")
+	}
+	if g := in.NextBrownoutGap(); !math.IsInf(g, 1) {
+		t.Errorf("disabled brownout gap = %g, want +Inf", g)
+	}
+	if d, f := in.BrownoutWindow(); d != 0 || f != 1 {
+		t.Errorf("disabled BrownoutWindow = (%g, %g), want (0, 1)", d, f)
+	}
+	if g := in.NextDrainOutageGap(); !math.IsInf(g, 1) {
+		t.Errorf("disabled drain gap = %g, want +Inf", g)
+	}
+}
+
+// The plan is deterministic in its seed, and each fault process owns an
+// independent substream: drawing crashes never perturbs brownouts.
+func TestMachineInjectorSubstreamIndependence(t *testing.T) {
+	full := MachineConfig{
+		BrownoutRatePerHour:    1,
+		DrainOutageRatePerHour: 1,
+		CrashRatePerHour:       1,
+	}
+	a := NewMachine(full, rng.New(42).Split(MachineStreamKey))
+	b := NewMachine(full, rng.New(42).Split(MachineStreamKey))
+	// b interleaves crash draws between its brownout draws; a does not.
+	// The brownout sequences must match anyway.
+	for i := 0; i < 16; i++ {
+		want := a.NextBrownoutGap()
+		_ = b.NextCrashGap()
+		if got := b.NextBrownoutGap(); got != want {
+			t.Fatalf("draw %d: brownout gap %g after crash interleaving, want %g", i, got, want)
+		}
+	}
+	// Same seed, same sequence.
+	c := NewMachine(full, rng.New(42).Split(MachineStreamKey))
+	d := NewMachine(full, rng.New(42).Split(MachineStreamKey))
+	for i := 0; i < 16; i++ {
+		if c.NextCrashGap() != d.NextCrashGap() {
+			t.Fatalf("draw %d: same-seed crash gaps differ", i)
+		}
+	}
+}
+
+// Window draws respect their configured domains.
+func TestMachineInjectorWindowDomains(t *testing.T) {
+	cfg := MachineConfig{
+		BrownoutRatePerHour: 1,
+		BrownoutMinFactor:   0.2, BrownoutMaxFactor: 0.6,
+		BlackoutProb:           0.3,
+		DrainOutageRatePerHour: 1, DrainOutageSlots: 2,
+	}
+	in := NewMachine(cfg, rng.New(9).Split(MachineStreamKey))
+	blackouts := 0
+	for i := 0; i < 500; i++ {
+		dur, f := in.BrownoutWindow()
+		if dur < 0 {
+			t.Fatalf("negative window duration %g", dur)
+		}
+		if f == 0 {
+			blackouts++
+			continue
+		}
+		if f < 0.2 || f >= 0.6 {
+			t.Fatalf("brownout factor %g outside [0.2, 0.6)", f)
+		}
+	}
+	if blackouts == 0 || blackouts == 500 {
+		t.Fatalf("%d/500 blackouts at prob 0.3 — the blackout draw is stuck", blackouts)
+	}
+	if _, slots := in.DrainOutageWindow(); slots != 2 {
+		t.Fatalf("DrainOutageWindow slots = %d, want 2", slots)
+	}
+}
+
+// CrashBackoffSeconds doubles per prior crash of the same job.
+func TestMachineInjectorCrashBackoffDoubles(t *testing.T) {
+	in := NewMachine(MachineConfig{CrashRatePerHour: 1, CrashBackoffSeconds: 100}, rng.New(1).Split(MachineStreamKey))
+	for crashes, want := range map[int]float64{1: 100, 2: 200, 3: 400, 4: 800} {
+		if got := in.CrashBackoffSeconds(crashes); got != want {
+			t.Errorf("CrashBackoffSeconds(%d) = %g, want %g", crashes, got, want)
+		}
+	}
+	if got := in.CrashBackoffSeconds(0); got != 0 {
+		t.Errorf("CrashBackoffSeconds(0) = %g, want 0", got)
+	}
+}

@@ -11,13 +11,25 @@ type PendingJob struct {
 	ArrivalSeconds float64
 }
 
-// RoutingDecision records one admission: which queued job starts, at
-// what time, onto how many nodes. The control plane splits deciding
-// (AdmissionPolicy.Admit) from acting (the machine driver starts the
-// app and debits the node pool) so a decision is a plain, loggable
-// value — the admission/routing separation of the exemplar control
-// plane.
+// Decision kinds: every entry in the machine's routing log is one of
+// these. Admissions are the only kind a healthy machine emits; the
+// machine-fault layer adds the crash lifecycle (crash → requeue →
+// admit, or crash → give-up at retry exhaustion).
+const (
+	DecisionAdmit   = "admit"
+	DecisionCrash   = "crash"
+	DecisionRequeue = "requeue"
+	DecisionGiveUp  = "give-up"
+)
+
+// RoutingDecision records one control-plane event: which job, at what
+// time, over how many nodes, and what happened (a Decision* kind). The
+// control plane splits deciding (AdmissionPolicy.Admit) from acting
+// (the machine driver starts the app and debits the node pool) so a
+// decision is a plain, loggable value — the admission/routing
+// separation of the exemplar control plane.
 type RoutingDecision struct {
+	Kind      string
 	Job       int
 	AtSeconds float64
 	Nodes     int

@@ -34,6 +34,13 @@ type flow struct {
 	// bandwidth.
 	queued    bool
 	suspended bool
+	// starved marks a flow active but allocated zero bandwidth since
+	// starvedAt; escalated marks a flow the starvation watchdog has
+	// promoted into the priority lane. escTimer is the pending watchdog.
+	starved   bool
+	starvedAt float64
+	escalated bool
+	escTimer  stepsim.Timer
 }
 
 // BandwidthArbiter is the machine's PFS bandwidth control plane. It
@@ -66,13 +73,24 @@ type BandwidthArbiter struct {
 	starving []bool    // app had an active-but-unallocated flow at lastT
 	starveS  []float64 // integrated starvation seconds per app
 
-	// onAlloc, when non-nil, observes every repricing: the simulation
-	// time and the total allocated bandwidth (the conservation probe —
-	// total never exceeds the ceiling).
-	onAlloc func(t, totalGBs float64)
+	// Starvation watchdog (escBound > 0 arms it): flows starved longer
+	// than escBound seconds escalate into the priority lane, so no
+	// tenant starves forever even under brownout.
+	escBound     float64
+	numEscalated int
+	escalations  []int     // per-app watchdog escalation count
+	maxStretch   []float64 // per-app longest single zero-rate stretch
 
-	// scratch is the water-filling worklist, reused across repricings.
-	scratch []*flow
+	// onAlloc, when non-nil, observes every repricing: the simulation
+	// time, the total allocated bandwidth, and the instantaneous ceiling
+	// (the conservation probe — total never exceeds the ceiling, even
+	// mid-brownout).
+	onAlloc func(t, totalGBs, ceilingGBs float64)
+
+	// scratch is the water-filling worklist, reused across repricings;
+	// escScratch is the escalated lane's.
+	scratch    []*flow
+	escScratch []*flow
 }
 
 // NewBandwidthArbiter creates the arbiter for a machine whose PFS
@@ -86,19 +104,127 @@ func NewBandwidthArbiter(eng *stepsim.Engine, ceilingGBs float64, maxDrains, num
 		panic(fmt.Sprintf("machine: non-positive drain concurrency %d", maxDrains))
 	}
 	return &BandwidthArbiter{
-		eng:      eng,
-		ceiling:  ceilingGBs,
-		maxDrain: maxDrains,
-		byID:     make(map[stepsim.FlowID]*flow),
-		starving: make([]bool, numApps),
-		starveS:  make([]float64, numApps),
-		lastT:    eng.Now(),
+		eng:         eng,
+		ceiling:     ceilingGBs,
+		maxDrain:    maxDrains,
+		byID:        make(map[stepsim.FlowID]*flow),
+		starving:    make([]bool, numApps),
+		starveS:     make([]float64, numApps),
+		escalations: make([]int, numApps),
+		maxStretch:  make([]float64, numApps),
+		lastT:       eng.Now(),
 	}
 }
 
 // SetAllocObserver installs fn to observe every repricing's total
-// allocation (t, totalGBs). Pass nil to remove.
-func (b *BandwidthArbiter) SetAllocObserver(fn func(t, totalGBs float64)) { b.onAlloc = fn }
+// allocation (t, totalGBs, ceilingGBs). Pass nil to remove.
+func (b *BandwidthArbiter) SetAllocObserver(fn func(t, totalGBs, ceilingGBs float64)) { b.onAlloc = fn }
+
+// Ceiling returns the instantaneous aggregate bandwidth ceiling.
+func (b *BandwidthArbiter) Ceiling() float64 { return b.ceiling }
+
+// SetCeiling changes the aggregate bandwidth ceiling mid-run — the PFS
+// brownout/blackout hook. Zero is legal (a blackout: every flow prices
+// to zero and waits); negative or NaN is not. Every transition reprices
+// immediately, so in-flight transfers keep exact integer progress
+// accounting across the change.
+func (b *BandwidthArbiter) SetCeiling(gbs float64) {
+	if gbs < 0 || math.IsNaN(gbs) {
+		panic(fmt.Sprintf("machine: invalid bandwidth ceiling %g", gbs))
+	}
+	b.ceiling = gbs
+	b.reprice()
+}
+
+// SetMaxDrains changes the drain-slot budget mid-run — the drain-slot
+// outage hook. Zero is legal (no drain runs until slots return).
+// Shrinking evicts the most recently admitted in-flight drains back to
+// the FRONT of the slot queue in start order, so when slots return the
+// interrupted drains resume FIFO ahead of drains that never started;
+// growing promotes queued drains FIFO.
+func (b *BandwidthArbiter) SetMaxDrains(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("machine: negative drain concurrency %d", n))
+	}
+	t := b.eng.Now()
+	b.advance(t)
+	b.maxDrain = n
+	var evicted []*flow // descending id (most recent first)
+	for b.inDrain > n {
+		var victim *flow
+		vi := -1
+		for i := len(b.active) - 1; i >= 0; i-- {
+			if b.active[i].class == stepsim.ClassDrain {
+				victim, vi = b.active[i], i
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		b.park(victim, t)
+		b.active = append(b.active[:vi], b.active[vi+1:]...)
+		b.inDrain--
+		victim.queued = true
+		evicted = append(evicted, victim)
+	}
+	if len(evicted) > 0 {
+		// Prepend in ascending-id (start) order ahead of never-started drains.
+		requeued := make([]*flow, 0, len(evicted)+len(b.drainQ))
+		for i := len(evicted) - 1; i >= 0; i-- {
+			requeued = append(requeued, evicted[i])
+		}
+		b.drainQ = append(requeued, b.drainQ...)
+	}
+	for b.inDrain < n && len(b.drainQ) > 0 {
+		next := b.drainQ[0]
+		copy(b.drainQ, b.drainQ[1:])
+		b.drainQ = b.drainQ[:len(b.drainQ)-1]
+		b.activate(next)
+	}
+	b.reprice()
+}
+
+// MaxDrains returns the instantaneous drain-slot budget.
+func (b *BandwidthArbiter) MaxDrains() int { return b.maxDrain }
+
+// SetStarvationEscalation arms the starvation watchdog: any flow
+// starved (active at zero rate) for longer than boundSeconds escalates
+// into the priority lane until it next holds bandwidth. Zero disables
+// the watchdog (the default); negative or NaN is rejected.
+func (b *BandwidthArbiter) SetStarvationEscalation(boundSeconds float64) {
+	if boundSeconds < 0 || math.IsNaN(boundSeconds) {
+		panic(fmt.Sprintf("machine: invalid starvation escalation bound %g", boundSeconds))
+	}
+	b.escBound = boundSeconds
+}
+
+// Escalations returns how many times the starvation watchdog promoted
+// one of app's flows into the priority lane.
+func (b *BandwidthArbiter) Escalations(app int) int {
+	if app < 0 || app >= len(b.escalations) {
+		return 0
+	}
+	return b.escalations[app]
+}
+
+// EscalationCount returns the machine-wide watchdog escalation total.
+func (b *BandwidthArbiter) EscalationCount() int {
+	n := 0
+	for _, e := range b.escalations {
+		n += e
+	}
+	return n
+}
+
+// MaxStarvationStretchSeconds returns the longest single stretch during
+// which app had a flow active at zero allocated bandwidth.
+func (b *BandwidthArbiter) MaxStarvationStretchSeconds(app int) float64 {
+	if app < 0 || app >= len(b.maxStretch) {
+		return 0
+	}
+	return b.maxStretch[app]
+}
 
 // StarvationSeconds returns the total simulated time during which app
 // had at least one runnable flow allocated zero bandwidth.
@@ -219,12 +345,51 @@ func (b *BandwidthArbiter) activate(f *flow) {
 	b.active[i] = f
 }
 
-// deactivate removes f from the allocated set, cancels its timer, and —
-// if it held a drain slot — promotes the longest-waiting queued drain.
-func (b *BandwidthArbiter) deactivate(f *flow) {
+// park tears down f's pricing state — completion timer, open starvation
+// stretch, watchdog timer, escalation — without touching its slot or
+// active-set membership.
+func (b *BandwidthArbiter) park(f *flow, t float64) {
 	b.eng.Cancel(f.timer)
 	f.timer = stepsim.Timer{}
 	f.rate = 0
+	if f.starved {
+		b.noteStretch(f, t)
+	}
+	b.eng.Cancel(f.escTimer)
+	f.escTimer = stepsim.Timer{}
+	if f.escalated {
+		f.escalated = false
+		b.numEscalated--
+	}
+}
+
+// noteStretch closes f's current zero-rate stretch at time t, folding
+// it into the per-app maximum.
+func (b *BandwidthArbiter) noteStretch(f *flow, t float64) {
+	f.starved = false
+	if s := t - f.starvedAt; s > b.maxStretch[f.app] {
+		b.maxStretch[f.app] = s
+	}
+}
+
+// escalate fires when the starvation watchdog expires: if the flow is
+// still active and still priced at zero, it joins the priority lane
+// until it next holds bandwidth (deactivation clears it).
+func (b *BandwidthArbiter) escalate(f *flow) {
+	f.escTimer = stepsim.Timer{}
+	if b.byID[f.id] != f || f.suspended || f.queued || f.escalated || f.rate > 0 {
+		return
+	}
+	f.escalated = true
+	b.numEscalated++
+	b.escalations[f.app]++
+	b.reprice()
+}
+
+// deactivate removes f from the allocated set, cancels its timer, and —
+// if it held a drain slot — promotes the longest-waiting queued drain.
+func (b *BandwidthArbiter) deactivate(f *flow) {
+	b.park(f, b.eng.Now())
 	for i, g := range b.active {
 		if g == f {
 			b.active = append(b.active[:i], b.active[i+1:]...)
@@ -259,6 +424,10 @@ func (b *BandwidthArbiter) grow(app int) {
 		b.starveS = append(b.starveS, 0)
 		b.starving = append(b.starving, false)
 	}
+	for len(b.escalations) <= app {
+		b.escalations = append(b.escalations, 0)
+		b.maxStretch = append(b.maxStretch, 0)
+	}
 }
 
 // advance integrates the fluid model from the last repricing to t:
@@ -279,30 +448,13 @@ func (b *BandwidthArbiter) advance(t float64) {
 	b.lastT = t
 }
 
-// reprice advances the fluid model to now, re-divides the ceiling over
-// the active flows (priority lane first, then capped max-min fair
-// share), and reschedules every completion timer.
-func (b *BandwidthArbiter) reprice() {
-	t := b.eng.Now()
-	b.advance(t)
-
-	// Priority lane: vulnerable-node writes, FIFO by flow id, each at
-	// its solo rate while the ceiling lasts.
-	left := b.ceiling
-	b.scratch = b.scratch[:0]
-	for _, f := range b.active {
-		if f.class == stepsim.ClassVulnerable {
-			f.rate = math.Min(f.soloRate, left)
-			left -= f.rate
-		} else {
-			f.rate = 0
-			b.scratch = append(b.scratch, f)
-		}
-	}
-	// Water-filling max-min over everyone else: repeatedly grant flows
-	// whose solo cap fits under the equal share, then split what remains
-	// equally among the unsatisfied.
-	unsat := b.scratch
+// waterFill max-min fair-shares left across unsat: repeatedly grant
+// flows whose solo cap fits under the equal share, then split what
+// remains equally among the unsatisfied. Returns the bandwidth still
+// unallocated. A zero (or exhausted) ceiling is safe: the loop never
+// runs and every flow keeps its zero rate — no division by a zero
+// share, no negative allocation.
+func (b *BandwidthArbiter) waterFill(unsat []*flow, left float64) float64 {
 	for len(unsat) > 0 && left > 0 {
 		share := left / float64(len(unsat))
 		n := 0
@@ -324,13 +476,54 @@ func (b *BandwidthArbiter) reprice() {
 		}
 		unsat = unsat[:n]
 	}
+	return left
+}
+
+// reprice advances the fluid model to now, re-divides the ceiling over
+// the active flows (escalated lane, then priority lane, then capped
+// max-min fair share), and reschedules every completion timer.
+func (b *BandwidthArbiter) reprice() {
+	t := b.eng.Now()
+	b.advance(t)
+
+	left := b.ceiling
+	// Escalated lane: flows the starvation watchdog promoted are
+	// water-filled first, so each holds a positive rate whenever any
+	// ceiling remains at all.
+	if b.numEscalated > 0 {
+		b.escScratch = b.escScratch[:0]
+		for _, f := range b.active {
+			if f.escalated {
+				f.rate = 0
+				b.escScratch = append(b.escScratch, f)
+			}
+		}
+		left = b.waterFill(b.escScratch, left)
+	}
+	// Priority lane: vulnerable-node writes, FIFO by flow id, each at
+	// its solo rate while the ceiling lasts.
+	b.scratch = b.scratch[:0]
+	for _, f := range b.active {
+		if f.escalated {
+			continue
+		}
+		if f.class == stepsim.ClassVulnerable {
+			f.rate = math.Min(f.soloRate, left)
+			left -= f.rate
+		} else {
+			f.rate = 0
+			b.scratch = append(b.scratch, f)
+		}
+	}
+	// Water-filling max-min over everyone else.
+	b.waterFill(b.scratch, left)
 
 	total := 0.0
 	for _, f := range b.active {
 		total += f.rate
 	}
 	if b.onAlloc != nil {
-		b.onAlloc(t, total)
+		b.onAlloc(t, total, b.ceiling)
 	}
 	for i := range b.starving {
 		b.starving[i] = false
@@ -338,6 +531,18 @@ func (b *BandwidthArbiter) reprice() {
 	for _, f := range b.active {
 		if f.rate == 0 {
 			b.starving[f.app] = true
+			if !f.starved {
+				f.starved = true
+				f.starvedAt = t
+				if b.escBound > 0 && !f.escalated {
+					f := f
+					f.escTimer = b.eng.AfterCancel(b.escBound, "starve-escalate", func() { b.escalate(f) })
+				}
+			}
+		} else if f.starved {
+			b.noteStretch(f, t)
+			b.eng.Cancel(f.escTimer)
+			f.escTimer = stepsim.Timer{}
 		}
 	}
 

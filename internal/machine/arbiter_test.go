@@ -128,9 +128,9 @@ func TestArbiterConservationAndStarvation(t *testing.T) {
 	eng := stepsim.NewEngine()
 	const ceiling = 100.0
 	arb := machine.NewBandwidthArbiter(eng, ceiling, 4, 3)
-	arb.SetAllocObserver(func(at, total float64) {
-		if total > ceiling*(1+1e-9) {
-			t.Fatalf("allocation %g exceeds ceiling %g at t=%g", total, ceiling, at)
+	arb.SetAllocObserver(func(at, total, ceil float64) {
+		if total > ceil*(1+1e-9) {
+			t.Fatalf("allocation %g exceeds ceiling %g at t=%g", total, ceil, at)
 		}
 	})
 	// Two vulnerable flows soak the whole ceiling; the collective flow

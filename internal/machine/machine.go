@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"pckpt/internal/crmodel"
+	"pckpt/internal/faultinject"
 	"pckpt/internal/metrics"
 	"pckpt/internal/platform"
 	"pckpt/internal/policy"
+	"pckpt/internal/rng"
 	"pckpt/internal/stats"
 	"pckpt/internal/stepsim"
 )
@@ -52,12 +54,22 @@ type Config struct {
 	MaxConcurrentDrains int
 	// Admission decides when queued jobs start; nil defaults to FIFO.
 	Admission AdmissionPolicy
+	// Faults is the machine-scope fault plan: PFS brownout/blackout
+	// windows, drain-slot outages, whole-tenant crashes with admission
+	// requeue, and the starvation watchdog. The zero value is a healthy
+	// machine — Simulate is then bit-identical to the plan not existing.
+	Faults faultinject.MachineConfig
+	// Racks groups jobs into fault domains: Racks[i] is job i's rack, and
+	// one crash draw strikes every running tenant of the struck rack.
+	// Empty defaults to each job in its own rack (uncorrelated crashes).
+	Racks []int
 	// Metrics, when non-nil, receives machine-level metrics under the
 	// "machine." prefix (plus each job's own step-tier metrics).
 	Metrics *metrics.Registry
 	// OnAlloc, when non-nil, observes every bandwidth repricing — the
-	// conservation probe (total allocation never exceeds the ceiling).
-	OnAlloc func(t, totalGBs float64)
+	// conservation probe (total allocation never exceeds the
+	// instantaneous ceiling, brownouts included).
+	OnAlloc func(t, totalGBs, ceilingGBs float64)
 }
 
 // WithDefaults returns a copy with zero fields defaulted; job platforms
@@ -115,6 +127,19 @@ func (c Config) Validate() error {
 			return fmt.Errorf("machine: job %d needs %d nodes (app+spares), machine has %d", i, need, c.Nodes)
 		}
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if len(c.Racks) > 0 {
+		if len(c.Racks) != len(c.Jobs) {
+			return fmt.Errorf("machine: %d rack assignments for %d jobs", len(c.Racks), len(c.Jobs))
+		}
+		for i, r := range c.Racks {
+			if r < 0 || r >= len(c.Jobs) {
+				return fmt.Errorf("machine: job %d assigned to rack %d (want 0..%d)", i, r, len(c.Jobs)-1)
+			}
+		}
+	}
 	return nil
 }
 
@@ -133,6 +158,14 @@ type JobResult struct {
 	// StarvationSeconds is the total time the job had a runnable PFS
 	// transfer allocated zero bandwidth.
 	StarvationSeconds float64
+	// MaxStarvationStretchSeconds is the job's longest single stretch
+	// with a runnable transfer at zero bandwidth — the quantity the
+	// starvation watchdog bounds.
+	MaxStarvationStretchSeconds float64
+	// Crashes counts machine-fault tenant crashes that struck this job
+	// while it was running (each costs a backoff and a readmission, or —
+	// past the retry bound — ends the job truncated).
+	Crashes int
 	// SoloWallSeconds is the same job's wall time run alone (same
 	// platform, same seed, no contention); SlowdownX is the contended
 	// wall time over it — ≥ 1 up to float error, exactly 1 when the
@@ -153,6 +186,16 @@ type Result struct {
 	// highest total bandwidth allocation any repricing reached.
 	MakespanSeconds float64
 	PeakAllocGBs    float64
+	// Machine-fault accounting, all zero when the fault plan is
+	// disabled: brownout windows opened (and their total span), drain
+	// outages, tenant-crash strikes, crash requeues granted, and
+	// starvation-watchdog escalations.
+	Brownouts       int
+	BrownoutSeconds float64
+	DrainOutages    int
+	TenantCrashes   int
+	CrashRequeues   int
+	Escalations     int
 }
 
 // machineMaxEvents scales the solo per-run watchdog by cohort size.
@@ -174,16 +217,22 @@ func Simulate(cfg Config, seed uint64) Result {
 	eng.SetWatchdog(uint64(len(cfg.Jobs))*machineMaxEvents, 0)
 	arb := NewBandwidthArbiter(eng, cfg.PFSCeilingGBs, cfg.MaxConcurrentDrains, len(cfg.Jobs))
 
+	fi := faultinject.NewMachine(cfg.Faults, rng.New(seed).Split(faultinject.MachineStreamKey))
+	if bound := fi.MachineConfig().StarvationEscalationSeconds; bound > 0 {
+		arb.SetStarvationEscalation(bound)
+	}
+
 	res := Result{Jobs: make([]JobResult, len(cfg.Jobs))}
-	arb.SetAllocObserver(func(t, total float64) {
+	arb.SetAllocObserver(func(t, total, ceiling float64) {
 		if total > res.PeakAllocGBs {
 			res.PeakAllocGBs = total
 		}
 		if cfg.OnAlloc != nil {
-			cfg.OnAlloc(t, total)
+			cfg.OnAlloc(t, total, ceiling)
 		}
 	})
 
+	tenants := make([]tenantState, len(cfg.Jobs))
 	var m struct {
 		queue     []PendingJob
 		freeNodes int
@@ -200,21 +249,34 @@ func Simulate(cfg Config, seed uint64) Result {
 			m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
 			m.freeNodes -= p.Nodes
 			now := eng.Now()
-			res.Decisions = append(res.Decisions, RoutingDecision{Job: p.Job, AtSeconds: now, Nodes: p.Nodes})
+			res.Decisions = append(res.Decisions, RoutingDecision{Kind: DecisionAdmit, Job: p.Job, AtSeconds: now, Nodes: p.Nodes})
 			jr := &res.Jobs[p.Job]
-			jr.StartSeconds = now
-			jr.QueueWaitSeconds = now - p.ArrivalSeconds
+			ten := &tenants[p.Job]
+			if ten.crashes == 0 {
+				jr.StartSeconds = now
+			}
+			jr.QueueWaitSeconds += now - p.ArrivalSeconds
 			job := cfg.Jobs[p.Job]
-			stepsim.StartApp(eng, stepsim.Config{
+			// A readmitted job replays a fresh seed derived from its crash
+			// count, so retry runs are independent draws but the whole
+			// machine stays deterministic in (cfg, seed).
+			jobSeed := crmodel.RunSeed(seed, p.Job)
+			if ten.crashes > 0 {
+				jobSeed = crmodel.RunSeed(jobSeed, ten.crashes)
+			}
+			ten.running = true
+			ten.handle = stepsim.StartApp(eng, stepsim.Config{
 				Model:   job.Model,
 				Config:  job.Platform,
 				Metrics: cfg.Metrics,
-			}, crmodel.RunSeed(seed, p.Job), stepsim.AppOptions{
+			}, jobSeed, stepsim.AppOptions{
 				Arbiter:  arb,
 				AppIndex: p.Job,
 				OnDone: func(r stats.RunResult) {
 					jr.EndSeconds = eng.Now()
 					jr.Run = r
+					ten.running = false
+					ten.finished = true
 					m.freeNodes += p.Nodes
 					tryAdmit()
 				},
@@ -228,6 +290,19 @@ func Simulate(cfg Config, seed uint64) Result {
 			m.queue = append(m.queue, PendingJob{Job: i, Nodes: j.need(), ArrivalSeconds: j.ArrivalSeconds})
 			tryAdmit()
 		})
+	}
+	if fi != nil {
+		d := &faultDriver{
+			eng: eng, arb: arb, fi: fi, cfg: &cfg, res: &res,
+			tenants: tenants,
+			requeue: func(j int, p PendingJob) {
+				m.queue = append(m.queue, p)
+				tryAdmit()
+			},
+			freeNodes: func(n int) { m.freeNodes += n },
+			tryAdmit:  func() { tryAdmit() },
+		}
+		d.start()
 	}
 	eng.RunAll()
 	eng.Release()
@@ -248,9 +323,21 @@ func Simulate(cfg Config, seed uint64) Result {
 			jr.SlowdownX = jr.Run.WallSeconds / solo.WallSeconds
 		}
 		jr.StarvationSeconds = arb.StarvationSeconds(i)
+		jr.MaxStarvationStretchSeconds = arb.MaxStarvationStretchSeconds(i)
 	}
+	res.Escalations = arb.EscalationCount()
 	observeMachineMetrics(cfg, &res)
 	return res
+}
+
+// tenantState is the driver's per-job lifecycle bookkeeping: the live
+// app handle while running, and the crash count driving retry seeds,
+// backoff, and the give-up bound.
+type tenantState struct {
+	handle   *stepsim.AppHandle
+	running  bool
+	finished bool
+	crashes  int
 }
 
 // observeMachineMetrics publishes machine-level outcomes to the
@@ -263,17 +350,26 @@ func observeMachineMetrics(cfg Config, res *Result) {
 	queueWait := r.Histogram("machine.queue_wait_seconds")
 	slowdown := r.Histogram("machine.slowdown_x")
 	starve := r.Histogram("machine.starvation_seconds")
+	stretch := r.Histogram("machine.max_starvation_stretch_seconds")
+	crashes := r.Counter("machine.tenant_crashes")
 	trunc := r.Counter("machine.jobs_truncated")
 	peak := r.Gauge("machine.peak_alloc_gbs")
 	for _, jr := range res.Jobs {
 		queueWait.Observe(jr.QueueWaitSeconds)
 		slowdown.Observe(jr.SlowdownX)
 		starve.Observe(jr.StarvationSeconds)
+		stretch.Observe(jr.MaxStarvationStretchSeconds)
+		crashes.Add(float64(jr.Crashes))
 		if jr.Run.Truncated {
 			trunc.Inc()
 		}
 	}
 	peak.Set(res.MakespanSeconds, res.PeakAllocGBs)
+	r.Counter("machine.brownouts").Add(float64(res.Brownouts))
+	r.Counter("machine.brownout_seconds").Add(res.BrownoutSeconds)
+	r.Counter("machine.drain_outages").Add(float64(res.DrainOutages))
+	r.Counter("machine.crash_requeues").Add(float64(res.CrashRequeues))
+	r.Counter("machine.starvation_escalations").Add(float64(res.Escalations))
 }
 
 // SimulateN executes runs independent machine simulations (run r draws

@@ -56,9 +56,9 @@ func TestMachineContentionSlowdownAndConservation(t *testing.T) {
 	cfg := machine.Config{
 		Jobs:          jobs,
 		PFSCeilingGBs: ceiling,
-		OnAlloc: func(at, total float64) {
-			if total > ceiling*(1+1e-9) {
-				t.Fatalf("allocation %g exceeds ceiling %g at t=%g", total, ceiling, at)
+		OnAlloc: func(at, total, ceil float64) {
+			if total > ceil*(1+1e-9) {
+				t.Fatalf("allocation %g exceeds ceiling %g at t=%g", total, ceil, at)
 			}
 		},
 	}

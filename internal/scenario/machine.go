@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pckpt/internal/faultinject"
 	"pckpt/internal/machine"
 )
 
@@ -28,6 +29,78 @@ type MachineSpec struct {
 	// ArrivalSeconds gives each tenant's submission time, parallel to the
 	// compiled cohort × policy grid; absent means everyone arrives at 0.
 	ArrivalSeconds []float64 `json:"arrival_seconds,omitempty"`
+	// Racks groups tenants into fault domains, parallel to the grid: one
+	// crash draw strikes every running tenant of the struck rack. Absent
+	// means each tenant is its own rack (uncorrelated crashes).
+	Racks []int `json:"racks,omitempty"`
+	// Faults is the machine-scope fault plan (PFS brownouts, drain-slot
+	// outages, tenant crashes, starvation watchdog). Absent means a
+	// healthy machine — and, like the block itself, contributes nothing
+	// to the canonical rendering, so pre-fault specs keep their cache
+	// identity.
+	Faults *MachineFaultSpec `json:"faults,omitempty"`
+}
+
+// MachineFaultSpec is the JSON shape of faultinject.MachineConfig —
+// the declarative machine-scope fault plan. Zero fields take the
+// faultinject defaults for whichever processes are enabled.
+type MachineFaultSpec struct {
+	BrownoutRatePerHour         float64 `json:"brownout_rate_per_hour,omitempty"`
+	BrownoutMeanSeconds         float64 `json:"brownout_mean_seconds,omitempty"`
+	BrownoutMinFactor           float64 `json:"brownout_min_factor,omitempty"`
+	BrownoutMaxFactor           float64 `json:"brownout_max_factor,omitempty"`
+	BlackoutProb                float64 `json:"blackout_prob,omitempty"`
+	DrainOutageRatePerHour      float64 `json:"drain_outage_rate_per_hour,omitempty"`
+	DrainOutageMeanSeconds      float64 `json:"drain_outage_mean_seconds,omitempty"`
+	DrainOutageSlots            int     `json:"drain_outage_slots,omitempty"`
+	CrashRatePerHour            float64 `json:"crash_rate_per_hour,omitempty"`
+	CrashMaxRetries             int     `json:"crash_max_retries,omitempty"`
+	CrashBackoffSeconds         float64 `json:"crash_backoff_seconds,omitempty"`
+	StarvationEscalationSeconds float64 `json:"starvation_escalation_seconds,omitempty"`
+}
+
+// config lowers the spec block to the faultinject plan; nil is the
+// healthy machine.
+func (f *MachineFaultSpec) config() faultinject.MachineConfig {
+	if f == nil {
+		return faultinject.MachineConfig{}
+	}
+	return faultinject.MachineConfig{
+		BrownoutRatePerHour:         f.BrownoutRatePerHour,
+		BrownoutMeanSeconds:         f.BrownoutMeanSeconds,
+		BrownoutMinFactor:           f.BrownoutMinFactor,
+		BrownoutMaxFactor:           f.BrownoutMaxFactor,
+		BlackoutProb:                f.BlackoutProb,
+		DrainOutageRatePerHour:      f.DrainOutageRatePerHour,
+		DrainOutageMeanSeconds:      f.DrainOutageMeanSeconds,
+		DrainOutageSlots:            f.DrainOutageSlots,
+		CrashRatePerHour:            f.CrashRatePerHour,
+		CrashMaxRetries:             f.CrashMaxRetries,
+		CrashBackoffSeconds:         f.CrashBackoffSeconds,
+		StarvationEscalationSeconds: f.StarvationEscalationSeconds,
+	}
+}
+
+// fromMachineConfig lifts a faultinject plan back to the spec block
+// (nil when the plan is zero) — the flag-override path's constructor.
+func fromMachineConfig(c faultinject.MachineConfig) *MachineFaultSpec {
+	if c == (faultinject.MachineConfig{}) {
+		return nil
+	}
+	return &MachineFaultSpec{
+		BrownoutRatePerHour:         c.BrownoutRatePerHour,
+		BrownoutMeanSeconds:         c.BrownoutMeanSeconds,
+		BrownoutMinFactor:           c.BrownoutMinFactor,
+		BrownoutMaxFactor:           c.BrownoutMaxFactor,
+		BlackoutProb:                c.BlackoutProb,
+		DrainOutageRatePerHour:      c.DrainOutageRatePerHour,
+		DrainOutageMeanSeconds:      c.DrainOutageMeanSeconds,
+		DrainOutageSlots:            c.DrainOutageSlots,
+		CrashRatePerHour:            c.CrashRatePerHour,
+		CrashMaxRetries:             c.CrashMaxRetries,
+		CrashBackoffSeconds:         c.CrashBackoffSeconds,
+		StarvationEscalationSeconds: c.StarvationEscalationSeconds,
+	}
 }
 
 // MachineConfig compiles the spec's machine block plus cohort into one
@@ -71,6 +144,8 @@ func (s *Spec) MachineConfig() (machine.Config, error) {
 		PFSCeilingGBs:       m.PFSCeilingGBs,
 		MaxConcurrentDrains: m.MaxConcurrentDrains,
 		Admission:           adm,
+		Racks:               append([]int(nil), m.Racks...),
+		Faults:              m.Faults.config(),
 	}
 	if err := cfg.WithDefaults().Validate(); err != nil {
 		return machine.Config{}, fmt.Errorf("scenario: %w", err)
@@ -100,6 +175,16 @@ func normalizeMachine(m *MachineSpec) *MachineSpec {
 	if n.Admission == "" {
 		n.Admission = "fifo"
 	}
+	n.Racks = append([]int(nil), m.Racks...)
+	if m.Faults != nil {
+		// Defaults made explicit, exactly as the simulator will apply
+		// them, so equal effective plans render equal canonical forms.
+		// WithDefaults is idempotent, keeping Normalize idempotent.
+		n.Faults = fromMachineConfig(m.Faults.config().WithDefaults())
+		if n.Faults == nil {
+			n.Faults = &MachineFaultSpec{}
+		}
+	}
 	return &n
 }
 
@@ -125,6 +210,14 @@ func checkMachine(m *MachineSpec) error {
 			return fmt.Errorf("scenario: machine: arrival_seconds[%d] is negative (%g)", i, at)
 		}
 	}
+	for i, r := range m.Racks {
+		if r < 0 {
+			return fmt.Errorf("scenario: machine: racks[%d] is negative (%d)", i, r)
+		}
+	}
+	if err := m.Faults.config().Validate(); err != nil {
+		return fmt.Errorf("scenario: machine: %w", err)
+	}
 	return nil
 }
 
@@ -138,5 +231,15 @@ func canonicalMachine(b *strings.Builder, m *MachineSpec) {
 	for _, at := range m.ArrivalSeconds {
 		fmt.Fprintf(b, "|arrive:%g", at)
 	}
+	for _, r := range m.Racks {
+		fmt.Fprintf(b, "|rack:%d", r)
+	}
 	b.WriteString("\n")
+	if m.Faults != nil {
+		f := m.Faults
+		fmt.Fprintf(b, "machine.faults=brownout:%g|brownout-mean:%g|factors:%g-%g|blackout:%g|drain-outage:%g|drain-mean:%g|slots:%d|crash:%g|retries:%d|backoff:%g|escalate:%g\n",
+			f.BrownoutRatePerHour, f.BrownoutMeanSeconds, f.BrownoutMinFactor, f.BrownoutMaxFactor, f.BlackoutProb,
+			f.DrainOutageRatePerHour, f.DrainOutageMeanSeconds, f.DrainOutageSlots,
+			f.CrashRatePerHour, f.CrashMaxRetries, f.CrashBackoffSeconds, f.StarvationEscalationSeconds)
+	}
 }

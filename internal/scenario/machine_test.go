@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"pckpt/internal/faultinject"
 	"pckpt/internal/policy"
 )
 
@@ -106,5 +107,143 @@ func TestMachineSpecCanonical(t *testing.T) {
 	}
 	if strings.Contains(plain, "machine=") {
 		t.Errorf("machine-less spec renders a machine line:\n%s", plain)
+	}
+}
+
+const machineFaultSpec = `{
+  "version": 1,
+  "name": "machine-faulted",
+  "apps": [{"name": "VULCAN"}],
+  "policies": ["M1", "P2"],
+  "machine": {
+    "pfs_ceiling_gbs": 5,
+    "arrival_seconds": [0, 600],
+    "racks": [0, 0],
+    "faults": {
+      "brownout_rate_per_hour": 0.5,
+      "blackout_prob": 0.25,
+      "crash_rate_per_hour": 0.1
+    }
+  },
+  "runs": 2
+}`
+
+// The faults block lowers to the faultinject plan with defaults applied
+// exactly as the simulator will, and racks ride into the machine config.
+func TestMachineFaultSpecCompiles(t *testing.T) {
+	s := mustParse(t, machineFaultSpec)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("faulted machine spec rejected: %v", err)
+	}
+	cfg, err := s.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfg.Faults
+	if f.BrownoutRatePerHour != 0.5 || f.BlackoutProb != 0.25 || f.CrashRatePerHour != 0.1 {
+		t.Fatalf("explicit fault fields lost: %+v", f)
+	}
+	if len(cfg.Racks) != 2 || cfg.Racks[0] != 0 || cfg.Racks[1] != 0 {
+		t.Fatalf("racks %v, want [0 0]", cfg.Racks)
+	}
+	// Normalize makes the per-process defaults explicit, idempotently.
+	n := s.Normalize()
+	nf := n.Machine.Faults
+	if nf == nil {
+		t.Fatal("normalized spec dropped the faults block")
+	}
+	if nf.BrownoutMeanSeconds != faultinject.DefaultBrownoutMeanSeconds ||
+		nf.CrashMaxRetries != faultinject.DefaultCrashMaxRetries ||
+		nf.CrashBackoffSeconds != faultinject.DefaultCrashBackoffSeconds {
+		t.Fatalf("normalized faults lack explicit defaults: %+v", nf)
+	}
+	if nn := n.Normalize(); *nn.Machine.Faults != *nf {
+		t.Fatalf("Normalize not idempotent on the faults block:\n%+v\nvs\n%+v", nf, nn.Machine.Faults)
+	}
+}
+
+func TestMachineFaultSpecRejects(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"negative-rate":   func(s *Spec) { s.Machine.Faults.BrownoutRatePerHour = -1 },
+		"blackout-prob":   func(s *Spec) { s.Machine.Faults.BlackoutProb = 1.5 },
+		"factors-flipped": func(s *Spec) { s.Machine.Faults.BrownoutMinFactor = 0.9; s.Machine.Faults.BrownoutMaxFactor = 0.1 },
+		"nan-escalation":  func(s *Spec) { s.Machine.Faults.StarvationEscalationSeconds = math.NaN() },
+		"negative-rack":   func(s *Spec) { s.Machine.Racks = []int{0, -1} },
+	}
+	for name, mutate := range cases {
+		s := mustParse(t, machineFaultSpec)
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid faulted machine spec accepted", name)
+		}
+	}
+	// Rack count must match the compiled tenant grid (checked at
+	// compilation, where the grid size is known).
+	s := mustParse(t, machineFaultSpec)
+	s.Machine.Racks = []int{0}
+	if _, err := s.MachineConfig(); err == nil {
+		t.Error("MachineConfig accepted 1 rack assignment for 2 tenants")
+	}
+}
+
+// The faults line appears in the canonical string only when the block is
+// present — pre-fault machine specs keep their exact cache identity —
+// and equal effective plans render equal canonical forms.
+func TestMachineFaultSpecCanonical(t *testing.T) {
+	s := mustParse(t, machineFaultSpec)
+	cs, err := s.CanonicalString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMachine := "machine=nodes:0|ceiling:5|drains:0|admission:fifo|arrive:0|arrive:600|rack:0|rack:0\n"
+	if !strings.Contains(cs, wantMachine) {
+		t.Errorf("canonical string lacks the racked machine line %q:\n%s", wantMachine, cs)
+	}
+	wantFaults := "machine.faults=brownout:0.5|brownout-mean:600|factors:0.25-0.75|blackout:0.25|drain-outage:0|drain-mean:0|slots:0|crash:0.1|retries:2|backoff:300|escalate:0\n"
+	if !strings.Contains(cs, wantFaults) {
+		t.Errorf("canonical string lacks the faults line %q:\n%s", wantFaults, cs)
+	}
+
+	// A fault-less machine spec renders no faults line, byte-identical to
+	// its pre-fault canonical form.
+	plain, err := mustParse(t, machineSpec).CanonicalString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "machine.faults=") || strings.Contains(plain, "rack:") {
+		t.Errorf("fault-less machine spec renders fault/rack segments:\n%s", plain)
+	}
+
+	// Spelling out the defaults changes nothing: same effective plan,
+	// same canonical identity.
+	explicit := mustParse(t, machineFaultSpec)
+	explicit.Machine.Faults.BrownoutMeanSeconds = faultinject.DefaultBrownoutMeanSeconds
+	explicit.Machine.Faults.BrownoutMinFactor = faultinject.DefaultBrownoutMinFactor
+	explicit.Machine.Faults.BrownoutMaxFactor = faultinject.DefaultBrownoutMaxFactor
+	explicit.Machine.Faults.CrashMaxRetries = faultinject.DefaultCrashMaxRetries
+	explicit.Machine.Faults.CrashBackoffSeconds = faultinject.DefaultCrashBackoffSeconds
+	cs2, err := explicit.CanonicalString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != cs2 {
+		t.Errorf("equal effective plans render different canonical forms:\n%s\nvs\n%s", cs, cs2)
+	}
+
+	// Round-trip fixed point with the faults block present.
+	r1, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("faulted machine rendering is not a fixed point:\n%s\nvs\n%s", r1, r2)
 	}
 }

@@ -1,0 +1,74 @@
+package stepsim_test
+
+import (
+	"testing"
+
+	"pckpt/internal/stepsim"
+)
+
+// Abort kills a running app mid-flight: the partial run carries the
+// truncated marker and the abort-time wall clock, the engine drains
+// without the app scheduling further work, and the accounting is frozen
+// at the abort instant.
+func TestAppAbortTruncatesMidFlight(t *testing.T) {
+	for name, plat := range testPlatforms() {
+		plat := plat
+		t.Run(name, func(t *testing.T) {
+			for _, id := range stepModels {
+				for seed := uint64(1); seed <= 3; seed++ {
+					solo := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, seed)
+					cut := solo.WallSeconds / 2
+					eng := stepsim.NewEngine()
+					h := stepsim.StartApp(eng, stepsim.Config{Model: id, Config: plat}, seed, stepsim.AppOptions{})
+					var partial = struct {
+						res  bool
+						wall float64
+					}{}
+					eng.At(cut, func() {
+						r := h.Abort()
+						partial.res = r.Truncated
+						partial.wall = r.WallSeconds
+					})
+					eng.RunAll()
+					eng.Release()
+					if !h.Done() {
+						t.Fatalf("%v seed %d: aborted app not Done", id, seed)
+					}
+					if !partial.res {
+						t.Fatalf("%v seed %d: aborted run not marked truncated", id, seed)
+					}
+					if partial.wall != cut {
+						t.Fatalf("%v seed %d: aborted wall %g, want the abort instant %g", id, seed, partial.wall, cut)
+					}
+					final := h.Result()
+					if !final.Truncated || final.WallSeconds != cut {
+						t.Fatalf("%v seed %d: post-drain result (trunc=%v wall=%g) moved past the abort (want trunc at %g)",
+							id, seed, final.Truncated, final.WallSeconds, cut)
+					}
+					if final.WallSeconds >= solo.WallSeconds {
+						t.Fatalf("%v seed %d: aborted wall %g not shorter than solo wall %g", id, seed, final.WallSeconds, solo.WallSeconds)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Aborting a finished app is a no-op returning the final result.
+func TestAppAbortAfterCompletionIsNoop(t *testing.T) {
+	plat := testPlatforms()["clean"]
+	for _, id := range stepModels {
+		solo := stepsim.Simulate(stepsim.Config{Model: id, Config: plat}, 2)
+		eng := stepsim.NewEngine()
+		h := stepsim.StartApp(eng, stepsim.Config{Model: id, Config: plat}, 2, stepsim.AppOptions{})
+		eng.RunAll()
+		got := h.Abort()
+		eng.Release()
+		if got != solo {
+			t.Fatalf("%v: Abort after completion returned a different result\nsolo:  %+v\nabort: %+v", id, solo, got)
+		}
+		if got.Truncated != solo.Truncated {
+			t.Fatalf("%v: post-completion Abort flipped the truncated marker", id)
+		}
+	}
+}

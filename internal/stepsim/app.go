@@ -102,6 +102,10 @@ type appSim struct {
 	// drainFlows tracks in-flight drain transfers at the arbiter so a
 	// finished (or truncated) job withdraws them from the machine.
 	drainFlows []FlowID
+	// blockFlows tracks the arbitered flows the app is parked on —
+	// including suspended outer flows of nested waits — so an aborted
+	// tenant withdraws them from the machine.
+	blockFlows []FlowID
 
 	plat  platform.Derived
 	sigma float64
@@ -234,6 +238,39 @@ func (h *AppHandle) Done() bool { return h.a.appDone }
 // Result returns the run's accounting; meaningful once Done.
 func (h *AppHandle) Result() stats.RunResult { return h.a.res }
 
+// Abort kills a running application mid-flight — the machine layer's
+// tenant-crash hook. The pending wake is cancelled, every arbitered
+// flow (blocking and drain alike) is withdrawn from the machine, and
+// the run is marked truncated at the current time; the partial
+// accounting is returned. OnDone does NOT fire — the caller owns the
+// crash bookkeeping (requeue or give up). Aborting a finished app is a
+// no-op returning the final result. Must run on the simulation
+// goroutine, between engine events.
+func (h *AppHandle) Abort() stats.RunResult {
+	a := h.a
+	if a.appDone {
+		return a.res
+	}
+	a.syncClock()
+	a.eng.Cancel(a.blocked)
+	a.blocked = Timer{}
+	a.blockedCont = nil
+	a.interruptPending = false
+	for _, id := range a.blockFlows {
+		a.arb.CancelFlow(id)
+	}
+	a.blockFlows = nil
+	for _, id := range a.drainFlows {
+		a.arb.CancelFlow(id)
+	}
+	a.drainFlows = nil
+	a.res.Truncated = true
+	a.res.WallSeconds = a.now()
+	a.trace(trace.Truncated, -1, "tenant crash")
+	a.appDone = true
+	return a.res
+}
+
 // StartApp schedules one application run on eng, starting at the
 // engine's current time. The caller drives the engine; several apps on
 // one engine share its clock (the multi-tenant machine of
@@ -316,6 +353,9 @@ func (a *appSim) interrupt() {
 	a.eng.Cancel(a.blocked)
 	a.blocked = Timer{}
 	a.sched(0, "app", func() {
+		if a.appDone {
+			return // aborted between delivery and wake-up
+		}
 		a.resume()(true)
 	})
 }
@@ -330,6 +370,9 @@ func (a *appSim) refreshOCI() {
 // start begins the application: compute OCI seconds, checkpoint to BB,
 // repeat until the required computation completes (crmodel's run loop).
 func (a *appSim) start() {
+	if a.appDone {
+		return // aborted before the first compute cycle
+	}
 	a.runLoop()
 }
 
@@ -553,6 +596,7 @@ func (a *appSim) flowWait(class WriteClass, volumeGB, soloSeconds float64, bucke
 			a.handleEvents(func() {
 				if a.st.Epoch() != epoch {
 					a.arb.CancelFlow(fid)
+					a.dropBlockFlow(fid)
 					k(false)
 					return
 				}
@@ -563,9 +607,21 @@ func (a *appSim) flowWait(class WriteClass, volumeGB, soloSeconds float64, bucke
 	}
 	fid = a.arb.StartFlow(a.appIdx, class, volumeGB, soloSeconds, func() {
 		a.syncClock()
+		a.dropBlockFlow(fid)
 		a.resume()(false)
 	})
+	a.blockFlows = append(a.blockFlows, fid)
 	park()
+}
+
+// dropBlockFlow forgets a completed or cancelled blocking flow's handle.
+func (a *appSim) dropBlockFlow(fid FlowID) {
+	for i, id := range a.blockFlows {
+		if id == fid {
+			a.blockFlows = append(a.blockFlows[:i], a.blockFlows[i+1:]...)
+			return
+		}
+	}
 }
 
 // handleEvents drains the pending queue, then runs k. A truncated run
